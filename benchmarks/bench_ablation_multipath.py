@@ -1,0 +1,107 @@
+"""Ablation: SOLAR's multipath degrees of freedom (§4.5).
+
+Two mechanisms give SOLAR its failure escape:
+
+* several persistent paths per block server (the paper picks 4);
+* re-keying a condemned path onto a fresh UDP source port (path
+  rotation), which re-rolls its ECMP route — the antidote to the
+  slow-recovery corner the paper admits ("multiple paths go through the
+  same failure points").
+
+This ablation crosses path count {1, 4} with rotation {off, on} under a
+full silent ToR blackhole, and checks clean-fabric latency is unaffected
+by either knob.
+"""
+
+from __future__ import annotations
+
+from common import format_table, once, save_output
+
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.faults import IoHangMonitor
+from repro.net.failures import switch_blackhole
+from repro.profiles import DEFAULT
+from repro.sim import MS, SECOND
+
+
+def run_variant(num_paths: int, rotate: bool, inject_failure: bool) -> dict:
+    profiles = DEFAULT.with_overrides(solar={"rotate_failed_paths": rotate})
+    dep = EbsDeployment(
+        DeploymentSpec(stack="solar", seed=161, solar_paths=num_paths,
+                       compute_racks=1, compute_hosts_per_rack=2),
+        profiles=profiles,
+    )
+    host = dep.compute_host_names()[0]
+    vd = VirtualDisk(dep, "vd0", host, 256 * 1024 * 1024)
+    monitor = IoHangMonitor(dep.sim, threshold_ns=1 * SECOND)
+    if inject_failure:
+        scenario = switch_blackhole("tor", 1.0)
+        dep.sim.schedule_at(10 * MS, scenario.apply, dep.topology)
+    latencies = []
+    count = [0]
+
+    def issue() -> None:
+        if dep.sim.now > 600 * MS:
+            return
+        io = vd.write((count[0] % 1000) * 4096, 4096,
+                      lambda io: latencies.append(io.trace.total_ns))
+        monitor.watch(io)
+        count[0] += 1
+        dep.sim.schedule(2 * MS, issue)
+
+    issue()
+    dep.run(until_ns=2 * SECOND)
+    rotations = sum(
+        m.path_rotations
+        for client in dep.solar_clients.values()
+        for m in client._paths.values()
+    )
+    done = len(latencies)
+    return {
+        "hangs": monitor.hangs,
+        "issued": monitor.watched,
+        "completed": done,
+        "rotations": rotations,
+        "p50_us": sorted(latencies)[done // 2] / 1000 if done else float("inf"),
+    }
+
+
+def run_ablation() -> str:
+    rows = []
+    results = {}
+    for num_paths in (1, 4):
+        for rotate in (False, True):
+            clean = run_variant(num_paths, rotate, inject_failure=False)
+            failed = run_variant(num_paths, rotate, inject_failure=True)
+            results[(num_paths, rotate)] = (clean, failed)
+            rows.append([
+                num_paths, "on" if rotate else "off",
+                f"{clean['p50_us']:.0f}", failed["hangs"],
+                failed["rotations"],
+                f"{failed['completed']}/{failed['issued']}",
+            ])
+    table = format_table(
+        ["paths", "rotation", "clean p50 (us)", "blackhole hangs",
+         "rotations", "completed"], rows
+    )
+
+    # Shapes:
+    # * one static path is LUNA-equivalent: it hangs under the blackhole;
+    assert results[(1, False)][1]["hangs"] > 0
+    # * four static paths already recover here (they need at least one
+    #   port hashing through the healthy ToR — likely, not guaranteed);
+    # * rotation guarantees recovery regardless of path count;
+    assert results[(1, True)][1]["hangs"] == 0
+    assert results[(4, True)][1]["hangs"] == 0
+    assert results[(1, True)][1]["rotations"] > 0
+    # * neither knob costs anything on a clean fabric.
+    p50s = [results[key][0]["p50_us"] for key in results]
+    assert max(p50s) < 1.6 * min(p50s)
+    return ("Ablation: path count x rotation under a silent ToR blackhole "
+            "(§4.5):\n" + table)
+
+
+def test_ablation_multipath(benchmark):
+    text = once(benchmark, run_ablation)
+    print("\n" + text)
+    save_output("ablation_multipath", text)

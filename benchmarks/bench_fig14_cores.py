@@ -1,0 +1,77 @@
+"""Figure 14: fio read tests on bare-metal hosting under 1-3 DPU cores —
+(a) 64KB throughput, (b) 4KB IOPS — LUNA vs RDMA vs SOLAR* vs SOLAR.
+
+Paper shapes:
+
+* per-core 4KB IOPS rank LUNA < RDMA < SOLAR* < SOLAR (single-core IOPS
+  +46% for SOLAR over LUNA; §4.8: ~150K IOPS per SOLAR core);
+* 64KB throughput of LUNA/RDMA/SOLAR* saturates at the ALI-DPU internal
+  "PCIe goodput bottleneck"; SOLAR bypasses PCIe and lands well above it
+  (+78% single-core throughput over LUNA);
+* everything scales with core count until its ceiling.
+"""
+
+from __future__ import annotations
+
+from common import format_table, once, save_output
+
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.profiles import DEFAULT
+from repro.sim import MS
+from repro.workloads import FioSpec, run_fio
+
+STACKS = ("luna", "rdma", "solar_star", "solar")
+CORES = (1, 2, 3)
+
+
+def fio_run(stack: str, cores: int, block: int, iodepth: int) -> float | tuple:
+    dep = EbsDeployment(DeploymentSpec(
+        stack=stack, seed=141, hosting="bare_metal", stack_cores=cores,
+        compute_racks=1, compute_hosts_per_rack=2,
+        storage_racks=2, storage_hosts_per_rack=8,
+    ))
+    vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 1024 * 1024 * 1024)
+    result = run_fio(dep.sim, [vd],
+                     FioSpec(block_sizes=(block,), iodepth=iodepth,
+                             read_fraction=1.0, runtime_ns=8 * MS))["vd0"]
+    return result
+
+
+def run_fig14() -> str:
+    tput = {s: [fio_run(s, c, 65536, 32).throughput_mbps for c in CORES]
+            for s in STACKS}
+    iops = {s: [fio_run(s, c, 4096, 64).iops for c in CORES] for s in STACKS}
+
+    pcie_ceiling_mbps = (DEFAULT.pcie.dpu_internal_gbps / 2) * 1e9 / 8 / (1024 * 1024)
+    rows_a = [[s] + [f"{v:.0f}" for v in tput[s]] for s in STACKS]
+    rows_b = [[s] + [f"{v / 1000:.0f}K" for v in iops[s]] for s in STACKS]
+    text = (
+        "Figure 14a (fio 64KB read, MB/s, iodepth 32):\n"
+        + format_table(["stack", "1 core", "2 cores", "3 cores"], rows_a)
+        + f"PCIe goodput bottleneck (internal link / double crossing): "
+        f"~{pcie_ceiling_mbps:.0f} MB/s\n\n"
+        "Figure 14b (fio 4KB read, IOPS, iodepth 64):\n"
+        + format_table(["stack", "1 core", "2 cores", "3 cores"], rows_b)
+    )
+
+    # --- shape assertions ---------------------------------------------
+    # (b) single-core IOPS ordering and SOLAR's +46%-ish margin over LUNA.
+    assert iops["luna"][0] < iops["rdma"][0] < iops["solar"][0]
+    assert iops["solar"][0] > 1.3 * iops["luna"][0]
+    assert 100_000 < iops["solar"][0] < 220_000  # ~150K/core, §4.8
+    # IOPS scale with cores for every stack.
+    for s in STACKS:
+        assert iops[s][2] > 2.0 * iops[s][0]
+    # (a) non-offloaded stacks pinned at the PCIe ceiling; SOLAR well above.
+    for s in ("luna", "rdma", "solar_star"):
+        assert tput[s][2] < pcie_ceiling_mbps * 1.15
+    assert tput["solar"][2] > 1.3 * max(tput[s][2] for s in ("luna", "rdma", "solar_star"))
+    # SOLAR's single-core 64KB throughput beats LUNA's by >=78%-ish.
+    assert tput["solar"][0] > 1.5 * tput["luna"][0]
+    return text
+
+
+def test_fig14(benchmark):
+    text = once(benchmark, run_fig14)
+    print("\n" + text)
+    save_output("fig14_cores", text)

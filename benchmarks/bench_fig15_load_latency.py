@@ -1,0 +1,89 @@
+"""Figure 15: latency of a single 4KB WRITE under light vs heavy
+background load — LUNA vs RDMA vs SOLAR* vs SOLAR, median and 99th.
+
+Paper shapes: under light load all hardware-path stacks sit close
+together with LUNA slightly worse; under heavy load LUNA's median and
+tail blow up far beyond the rest, while SOLAR stays close to RDMA
+("SOLAR achieves a low I/O latency close to RDMA").
+"""
+
+from __future__ import annotations
+
+from common import format_table, once, save_output
+
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.metrics.stats import LatencyStats
+from repro.sim import MS
+from repro.workloads import FioSpec, FioJob
+
+STACKS = ("luna", "rdma", "solar_star", "solar")
+
+
+def probe_run(stack: str, background_iodepth: int) -> LatencyStats:
+    """Measure isolated 4KB writes while a background job loads the host."""
+    dep = EbsDeployment(DeploymentSpec(
+        stack=stack, seed=151, hosting="bare_metal", stack_cores=3,
+        compute_racks=1, compute_hosts_per_rack=2,
+        storage_racks=2, storage_hosts_per_rack=6,
+    ))
+    host = dep.compute_host_names()[0]
+    probe_vd = VirtualDisk(dep, "probe", host, 128 * 1024 * 1024)
+    stats = LatencyStats(f"{stack}/bg{background_iodepth}")
+
+    if background_iodepth > 0:
+        bg_vd = VirtualDisk(dep, "bg", host, 1024 * 1024 * 1024)
+        job = FioJob(dep.sim, bg_vd, FioSpec(
+            block_sizes=(8192, 16384), iodepth=background_iodepth,
+            read_fraction=0.2, runtime_ns=40 * MS, name="bg",
+        ))
+        job.start()
+
+    probes = [0]
+
+    def probe() -> None:
+        if dep.sim.now > 38 * MS:
+            return
+        offset = (probes[0] % 1000) * 4096
+        probes[0] += 1
+        probe_vd.write(offset, 4096,
+                       lambda io: stats.record(io.trace.total_ns))
+        dep.sim.schedule(400_000, probe)
+
+    dep.sim.schedule(2 * MS, probe)
+    dep.run(until_ns=500 * MS)
+    assert stats.count > 40
+    return stats
+
+
+def run_fig15() -> str:
+    light = {s: probe_run(s, background_iodepth=0) for s in STACKS}
+    heavy = {s: probe_run(s, background_iodepth=48) for s in STACKS}
+    sections = []
+    for label, data in (("Light load", light), ("Heavy load", heavy)):
+        rows = [
+            [s, f"{data[s].p(50) / 1000:.0f}", f"{data[s].p(99) / 1000:.0f}"]
+            for s in STACKS
+        ]
+        sections.append(f"{label} (4KB write, us):\n"
+                        + format_table(["stack", "median", "99th"], rows))
+
+    # Shapes: heavy load degrades everyone; SOLAR (full offload) is the
+    # best stack under load by a wide margin over LUNA; under light load
+    # all hardware-path stacks sit close together ("SOLAR achieves a low
+    # I/O latency close to RDMA").  Divergence note: our SOLAR* lands
+    # *worse* than LUNA under heavy load (the software per-block datapath
+    # plus double PCIe crossing is charged in full), where the paper shows
+    # it between LUNA and RDMA — recorded in EXPERIMENTS.md.
+    for s in STACKS:
+        assert heavy[s].p(99) > light[s].p(99)
+    assert heavy["solar"].p(50) == min(heavy[s].p(50) for s in STACKS)
+    assert heavy["solar"].p(99) == min(heavy[s].p(99) for s in STACKS)
+    assert heavy["luna"].p(50) > 1.5 * heavy["solar"].p(50)
+    assert light["solar"].p(50) < 1.6 * light["rdma"].p(50)
+    return "Figure 15 (single 4KB write under background load):\n\n" + "\n".join(sections)
+
+
+def test_fig15(benchmark):
+    text = once(benchmark, run_fig15)
+    print("\n" + text)
+    save_output("fig15_load_latency", text)

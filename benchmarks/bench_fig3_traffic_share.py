@@ -1,0 +1,58 @@
+"""Figure 3: EBS traffic share and I/O request rates over a week.
+
+Paper: (a) EBS accounts for ~63% of a compute server's TX traffic (~51%
+of all traffic) across a week of fleet telemetry; (b) WRITE I/O requests
+run 3-4x READ in rate, with a visible diurnal/weekly pattern.
+"""
+
+from __future__ import annotations
+
+import pytest
+from common import format_table, once, save_output
+
+from repro.workloads import EBS_TX_SHARE, synthesize_week
+
+
+def run_fig3() -> str:
+    samples = synthesize_week(seed=7)
+    ebs_tx = sum(s.ebs_tx_gbps for s in samples)
+    all_tx = sum(s.all_tx_gbps for s in samples)
+    ebs_rx = sum(s.ebs_rx_gbps for s in samples)
+    all_rx = sum(s.all_rx_gbps for s in samples)
+    writes = sum(s.write_iops for s in samples)
+    reads = sum(s.read_iops for s in samples)
+
+    tx_share = ebs_tx / all_tx
+    overall_share = (ebs_tx + ebs_rx) / (all_tx + all_rx)
+    wr_ratio = writes / reads
+
+    daily = []
+    per_day = len(samples) // 7
+    for day in range(7):
+        chunk = samples[day * per_day : (day + 1) * per_day]
+        daily.append([
+            f"Day-{day + 1}",
+            f"{sum(s.ebs_tx_gbps for s in chunk) / per_day:.3f}",
+            f"{sum(s.ebs_rx_gbps for s in chunk) / per_day:.3f}",
+            f"{sum(s.write_iops for s in chunk) / per_day / 1000:.1f}K",
+            f"{sum(s.read_iops for s in chunk) / per_day / 1000:.1f}K",
+        ])
+    table = format_table(
+        ["", "EBS TX (Gbps)", "EBS RX (Gbps)", "Write IOPS", "Read IOPS"], daily
+    )
+    summary = (
+        f"EBS share of TX traffic: {tx_share:.1%} (paper: 63%)\n"
+        f"EBS share of all traffic: {overall_share:.1%} (paper: 51%)\n"
+        f"WRITE:READ request ratio: {wr_ratio:.2f} (paper: 3-4x)\n"
+    )
+    # Shape assertions.
+    assert tx_share == pytest.approx(EBS_TX_SHARE, abs=0.02)
+    assert 0.40 < overall_share < 0.62
+    assert 2.5 < wr_ratio < 4.5
+    return f"Figure 3 (week of fleet-average per-server traffic):\n{table}\n{summary}"
+
+
+def test_fig3(benchmark):
+    text = once(benchmark, run_fig3)
+    print("\n" + text)
+    save_output("fig3_traffic_share", text)

@@ -1,0 +1,80 @@
+"""Figure 5: the distribution of I/O and FN RPC sizes.
+
+Paper: RPC (flow) sizes stay under 128KB-256KB; about 40% of RPCs are up
+to 4KB; the RPC size CDF almost coincides with the I/O size CDF because
+most I/Os finish in a single RPC (segments are 2MB and contiguous, so
+splitting is rare).
+
+The reproduction samples I/Os from the fitted distribution, runs them
+through the real segment table to obtain the RPC (extent) sizes the SA
+would actually emit, and prints both CDFs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from common import format_table, once, save_output
+
+from repro.profiles import BLOCK_SIZE
+from repro.storage.segment_table import SegmentTable
+from repro.workloads import SizeDistribution
+
+KB = 1024
+
+
+def run_fig5(samples: int = 20_000) -> str:
+    rng = random.Random(13)
+    dist = SizeDistribution()
+    table = SegmentTable()
+    table.provision("vd", 1024 * 1024 * 1024,
+                    [f"bs{i}" for i in range(8)], [f"c{i}" for i in range(12)])
+    max_block = 1024 * 1024 * 1024 // BLOCK_SIZE
+
+    io_sizes, rpc_sizes = [], []
+    split_count = 0
+    for _ in range(samples):
+        size = dist.sample(rng)
+        blocks = size // BLOCK_SIZE
+        start = rng.randint(0, max_block - blocks)
+        extents = table.extents("vd", start, blocks)
+        io_sizes.append(size)
+        rpc_sizes.extend(e.num_blocks * BLOCK_SIZE for e in extents)
+        if len(extents) > 1:
+            split_count += 1
+
+    def cdf(values, points):
+        values = sorted(values)
+        out = {}
+        import bisect
+
+        for p in points:
+            out[p] = bisect.bisect_right(values, p) / len(values)
+        return out
+
+    points = [4 * KB, 16 * KB, 64 * KB, 256 * KB, 1024 * KB]
+    io_cdf = cdf(io_sizes, points)
+    rpc_cdf = cdf(rpc_sizes, points)
+    rows = [
+        [f"{p // KB}KB", f"{io_cdf[p]:.1%}", f"{rpc_cdf[p]:.1%}"] for p in points
+    ]
+    out = format_table(["Size <=", "I/O CDF", "RPC CDF"], rows)
+    split_rate = split_count / samples
+
+    # Shape: ~40% at 4KB, everything <= 256KB, RPC ~ I/O CDF, rare splits.
+    assert io_cdf[4 * KB] == pytest.approx(0.40, abs=0.02)
+    assert io_cdf[256 * KB] == 1.0 and rpc_cdf[256 * KB] == 1.0
+    for p in points:
+        assert rpc_cdf[p] >= io_cdf[p] - 0.01  # splitting only shrinks RPCs
+    assert split_rate < 0.05  # §4.5: "the chance of I/O splitting is typically low"
+    return (
+        f"Figure 5 (I/O and RPC size CDFs, {samples} sampled I/Os):\n{out}"
+        f"I/O-splitting rate across segments: {split_rate:.2%} (rare, §4.5)\n"
+    )
+
+
+def test_fig5(benchmark):
+    text = once(benchmark, run_fig5)
+    print("\n" + text)
+    save_output("fig5_size_cdf", text)

@@ -1,0 +1,104 @@
+"""Figure 6: 4KB I/O latency breakdown (SA / FN / BN / SSD) in production,
+median and 95th percentile, for kernel TCP vs LUNA vs SOLAR.
+
+Paper shapes this reproduction must hold:
+
+* Kernel-era FN dominates the end-to-end latency; "Kernel" is several
+  times LUNA end to end (LUNA cuts FN latency by ~80%, §3.2);
+* under LUNA, the (software, VM-hosted, encrypting) SA becomes the
+  bottleneck component (§3.3);
+* SOLAR cuts the SA share hard (median SA -95% for 4KB write in the
+  paper) and reduces end-to-end write latency vs LUNA by 20-69%;
+* reads are SSD-dominated for LUNA/SOLAR (NAND latency).
+
+Method: each stack runs the production-shaped open-loop workload (mixed
+sizes, 22% reads) with payload encryption, on its era-appropriate
+deployment (kernel/LUNA: VM hosting + their BN; SOLAR: bare-metal DPU).
+Only the 4KB traces feed the figure, like the paper's 4KB panels.
+"""
+
+from __future__ import annotations
+
+from common import format_table, once, save_output
+
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.metrics.trace import COMPONENTS
+from repro.sim import MS
+from repro.workloads import ProductionWorkload
+
+STACKS = ("kernel", "luna", "solar")
+LOAD_IOPS_PER_HOST = 50_000
+DURATION_NS = 30 * MS
+
+
+def run_stack(stack: str) -> dict:
+    dep = EbsDeployment(DeploymentSpec(
+        stack=stack, seed=61, encrypt_payloads=True,
+        compute_racks=1, compute_hosts_per_rack=2,
+        storage_racks=2, storage_hosts_per_rack=4,
+    ))
+    hosts = dep.compute_host_names()
+    for i, host in enumerate(hosts):
+        vd = VirtualDisk(dep, f"vd{i}", host, 512 * 1024 * 1024)
+        ProductionWorkload(dep.sim, vd, LOAD_IOPS_PER_HOST, DURATION_NS,
+                           name=f"fig6/{stack}/{i}").start()
+    dep.run(until_ns=DURATION_NS + 400 * MS)
+
+    out = {}
+    for kind in ("read", "write"):
+        traces = [
+            t for t in dep.collector.completed(kind) if t.size_bytes == 4096
+        ]
+        assert len(traces) > 50, f"{stack}/{kind}: only {len(traces)} 4KB traces"
+        for pct, tag in ((50, "p50"), (95, "p95")):
+            from repro.metrics.stats import percentile
+
+            totals = sorted(t.total_ns for t in traces)
+            breakdown = {
+                c: percentile(sorted(t.components[c] for t in traces), pct) / 1000
+                for c in COMPONENTS
+            }
+            breakdown["total"] = percentile(totals, pct) / 1000
+            out[(kind, tag)] = breakdown
+    return out
+
+
+def run_fig6() -> str:
+    results = {stack: run_stack(stack) for stack in STACKS}
+    sections = []
+    for kind in ("read", "write"):
+        for tag in ("p50", "p95"):
+            rows = []
+            for stack in STACKS:
+                b = results[stack][(kind, tag)]
+                rows.append([
+                    stack, f"{b['sa']:.1f}", f"{b['fn']:.1f}",
+                    f"{b['bn']:.1f}", f"{b['ssd']:.1f}", f"{b['total']:.1f}",
+                ])
+            sections.append(
+                f"4KB {kind.capitalize()} ({tag}), all in us:\n"
+                + format_table(["stack", "SA", "FN", "BN", "SSD", "total"], rows)
+            )
+
+    # --- shape assertions -------------------------------------------------
+    w50 = {s: results[s][("write", "p50")] for s in STACKS}
+    r50 = {s: results[s][("read", "p50")] for s in STACKS}
+    # Kernel is the outlier, dominated by FN.
+    assert w50["kernel"]["total"] > 2 * w50["luna"]["total"]
+    assert w50["kernel"]["fn"] > 3 * w50["luna"]["fn"]
+    # Under LUNA the SA is the largest component of the 4KB write median.
+    luna_w = w50["luna"]
+    assert luna_w["sa"] == max(luna_w[c] for c in COMPONENTS)
+    # SOLAR crushes the SA share and beats LUNA end to end by >=20%.
+    assert w50["solar"]["sa"] < 0.35 * w50["luna"]["sa"]
+    assert w50["solar"]["total"] < 0.8 * w50["luna"]["total"]
+    # Reads are SSD-dominated for LUNA/SOLAR.
+    for s in ("luna", "solar"):
+        assert r50[s]["ssd"] == max(r50[s][c] for c in COMPONENTS)
+    return "Figure 6 (production 4KB latency breakdown):\n\n" + "\n".join(sections)
+
+
+def test_fig6(benchmark):
+    text = once(benchmark, run_fig6)
+    print("\n" + text)
+    save_output("fig6_latency_breakdown", text)

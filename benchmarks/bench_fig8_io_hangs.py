@@ -1,0 +1,100 @@
+"""Figure 8: I/O hangs caused by network failures under LUNA, by failure
+location and duration.
+
+Paper: ~100 failure incidents over two years; hang impact (VM-minutes of
+I/O hang) grows with failure duration and with the blast radius of the
+failing tier — ToR failures hurt the hosts under them, spine/core/DC
+router failures hurt progressively larger slices of the fleet; impacts
+range from ~10 to >10,000 VM-minutes.
+
+Method: for each tier we measure, in a live LUNA deployment, the fraction
+of I/O flows a blackhole at that tier hangs; incidents sampled across
+tiers and durations then scale that rate by affected-VM count x duration.
+"""
+
+from __future__ import annotations
+
+import random
+
+from common import format_table, once, save_output
+
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.faults import IoHangMonitor
+from repro.net.failures import switch_blackhole
+from repro.sim import MS, SECOND
+
+#: Fleet-scale fan-out per failing tier: VMs whose traffic crosses the
+#: failed device (rack ~ 40 VMs; spine ~ pod; core/DCR ~ multiple pods).
+TIER_FANOUT = {"tor": 40, "spine": 640, "core": 2_560, "dc_router": 10_240}
+
+
+def measure_hang_fraction(tier: str) -> float:
+    """Fraction of VMs that experience >=1 I/O hang (>1s unanswered)
+    while one device of the tier silently blackholes all its traffic
+    (a dead line card), under LUNA."""
+    dep = EbsDeployment(DeploymentSpec(stack="luna", seed=81,
+                                       compute_racks=2, compute_hosts_per_rack=2))
+    monitors = {}
+    vds = {}
+    for i, host in enumerate(dep.compute_host_names()):
+        vds[host] = VirtualDisk(dep, f"vd{i}", host, 256 * 1024 * 1024)
+        monitors[host] = IoHangMonitor(dep.sim, threshold_ns=1 * SECOND)
+    scenario = switch_blackhole(tier if tier != "dc_router" else "core", 1.0)
+    dep.sim.schedule_at(1 * MS, scenario.apply, dep.topology)
+    counters = {host: 0 for host in vds}
+
+    def issue(host: str) -> None:
+        if dep.sim.now > 600 * MS:
+            return
+        io = vds[host].write((counters[host] % 1000) * 4096, 4096, lambda io: None)
+        monitors[host].watch(io)
+        counters[host] += 1
+        dep.sim.schedule(3 * MS, issue, host)
+
+    for host in vds:
+        issue(host)
+    dep.run(until_ns=2 * SECOND)
+    affected = sum(1 for m in monitors.values() if m.hangs > 0)
+    return affected / len(monitors)
+
+
+def run_fig8() -> str:
+    rng = random.Random(83)
+    hang_fraction = {tier: measure_hang_fraction(tier) for tier in TIER_FANOUT}
+    incidents = []
+    for _ in range(100):  # "around 100 network failures ... over two years"
+        tier = rng.choices(list(TIER_FANOUT), weights=[50, 28, 15, 7])[0]
+        duration_min = min(100.0, rng.lognormvariate(2.3, 1.0))
+        affected_vms = TIER_FANOUT[tier] * hang_fraction[tier]
+        vm_minutes = affected_vms * duration_min
+        incidents.append((tier, duration_min, vm_minutes))
+
+    rows = []
+    for tier in TIER_FANOUT:
+        tier_inc = [(d, v) for t, d, v in incidents if t == tier]
+        if not tier_inc:
+            continue
+        rows.append([
+            tier, len(tier_inc), f"{hang_fraction[tier]:.0%}",
+            f"{min(v for _d, v in tier_inc):.0f}",
+            f"{max(v for _d, v in tier_inc):.0f}",
+        ])
+    table = format_table(
+        ["tier", "incidents", "hang fraction", "min VM-min", "max VM-min"], rows
+    )
+
+    # Shape: every tier hangs some LUNA I/Os; higher tiers reach larger
+    # worst-case impact; the overall spread covers orders of magnitude.
+    assert all(f > 0.05 for f in hang_fraction.values())
+    worst = {t: max((v for tt, _d, v in incidents if tt == t), default=0)
+             for t in TIER_FANOUT}
+    assert worst["dc_router"] > worst["tor"]
+    all_vals = [v for _t, _d, v in incidents]
+    assert max(all_vals) / max(1e-9, min(all_vals)) > 100
+    return "Figure 8 (I/O hang impact of ~100 incidents, LUNA era):\n" + table
+
+
+def test_fig8(benchmark):
+    text = once(benchmark, run_fig8)
+    print("\n" + text)
+    save_output("fig8_io_hangs", text)

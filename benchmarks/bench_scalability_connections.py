@@ -1,0 +1,83 @@
+"""§3.1's scalability argument, measured: why the FN could not be RDMA.
+
+"the overall throughput of the RNIC we use went down quickly after the
+number of connections was beyond 5,000, which is too low for our scale"
+— while a storage node serves "tens of thousands of concurrent
+connections" from compute clients, and user-space stacks like LUNA keep
+per-connection state in ordinary DRAM where it is effectively free.
+
+The bench sweeps the concurrent-connection count seen by one server NIC
+and measures achieved RPC throughput per stack.  SOLAR is also shown: it
+has *no* connections at all — its per-server state is four path entries
+in the control plane, independent of client count.
+"""
+
+from __future__ import annotations
+
+from common import format_table, once, save_output
+
+from repro.host.cpu import CpuComplex
+from repro.net import ClosTopology, PodSpec
+from repro.profiles import DEFAULT
+from repro.sim import MS, Simulator
+from repro.transport import LunaTransport, RdmaTransport
+
+CONNECTION_COUNTS = (1_000, 5_000, 20_000, 50_000)
+DURATION_NS = 3 * MS
+
+
+def throughput_gbps(stack_cls, extra_connections: int) -> float:
+    sim = Simulator(seed=131)
+    topo = ClosTopology(
+        sim, DEFAULT.network,
+        [PodSpec("cp", 1, 2, role="compute"), PodSpec("sp", 1, 2, role="storage")],
+    )
+    client = stack_cls(sim, topo.hosts["cp/r0/h0"], CpuComplex(sim, "c", 8), DEFAULT)
+    server = stack_cls(sim, topo.hosts["sp/r0/h0"], CpuComplex(sim, "s", 16), DEFAULT)
+    server.register_handler(lambda p, e, r: r(128, "ok"))
+    if isinstance(client, RdmaTransport):
+        client.extra_connections_hint = extra_connections
+    moved = [0]
+
+    def pump(_ex=None, _ok=None) -> None:
+        if _ok:
+            moved[0] += 64 * 1024
+        if sim.now < DURATION_NS:
+            client.call(server, None, 64 * 1024, 128, pump)
+
+    for _ in range(16):  # enough parallelism to fill the pipe
+        pump()
+    sim.run(until=DURATION_NS + 100 * MS)
+    return moved[0] * 8 / DURATION_NS  # bytes*8/ns == Gbps
+
+
+def run_scalability() -> str:
+    rows = []
+    results: dict = {"luna": [], "rdma": []}
+    for count in CONNECTION_COUNTS:
+        luna = throughput_gbps(LunaTransport, count)
+        rdma = throughput_gbps(RdmaTransport, count)
+        results["luna"].append(luna)
+        results["rdma"].append(rdma)
+        rows.append([f"{count:,}", f"{luna:.1f}", f"{rdma:.1f}", "line-rate*"])
+    table = format_table(
+        ["concurrent conns", "LUNA (Gbps)", "RDMA (Gbps)", "SOLAR state"], rows
+    )
+    note = ("*SOLAR holds no per-connection state: per server it keeps "
+            f"{DEFAULT.solar.num_paths} path entries in the DPU control plane "
+            "regardless of client count (§4.4), so there is nothing to sweep.\n")
+
+    # Shape (§3.1): LUNA's throughput is connection-count independent;
+    # RDMA collapses past the ~5K cliff.
+    luna_vals = results["luna"]
+    assert max(luna_vals) < 1.05 * min(luna_vals)
+    assert results["rdma"][0] >= results["luna"][0]  # fine when small
+    assert results["rdma"][-1] < 0.5 * results["rdma"][0]  # cliff collapse
+    return ("Connection scalability at one storage server (§3.1):\n"
+            + table + note)
+
+
+def test_scalability(benchmark):
+    text = once(benchmark, run_scalability)
+    print("\n" + text)
+    save_output("scalability_connections", text)

@@ -1,0 +1,101 @@
+"""Table 1: FN RPC latency and CPU cores, kernel TCP vs LUNA.
+
+Paper (Table 1a, 2x25GE): single 4KB RPC 70.1us (kernel) vs 13.1us (LUNA,
+incl. 8.3us base RTT); 50Gbps stress: 1782us/4 cores vs 900us/1 core.
+Table 1b repeats on 2x100GE with a 200Gbps stress test.
+
+This is a pure-transport benchmark (the paper's Table 1 measures RPCs, not
+full I/Os): client and echo server on the Clos fabric, both NIC speeds,
+single-RPC latency on an idle fabric, then average RPC latency + consumed
+client cores under a stress load of concurrent 4KB RPCs.
+"""
+
+from __future__ import annotations
+
+from common import format_table, once, save_output
+
+from repro.host.cpu import CpuComplex
+from repro.net import ClosTopology, PodSpec
+from repro.profiles import DEFAULT
+from repro.sim import MS, Simulator
+from repro.transport import KernelTcpTransport, LunaTransport
+
+STACKS = {"kernel": KernelTcpTransport, "luna": LunaTransport}
+
+
+def _pair(stack: str, gbps: float, seed: int = 42):
+    sim = Simulator(seed=seed)
+    profiles = DEFAULT.with_overrides(network={"access_gbps": gbps})
+    topo = ClosTopology(
+        sim, profiles.network,
+        [PodSpec("cp", 1, 2, role="compute"), PodSpec("sp", 1, 2, role="storage")],
+    )
+    cls = STACKS[stack]
+    client = cls(sim, topo.hosts["cp/r0/h0"], CpuComplex(sim, "c", 16), profiles)
+    server = cls(sim, topo.hosts["sp/r0/h0"], CpuComplex(sim, "s", 32), profiles)
+    server.register_handler(lambda payload, ex, respond: respond(128, "ack"))
+    return sim, client, server
+
+
+def single_rpc_latency_us(stack: str, gbps: float) -> float:
+    sim, client, server = _pair(stack, gbps)
+    done = []
+    client.call(server, None, 4096 + 128, 128, lambda ex, ok: done.append(ex))
+    sim.run()
+    return done[0].rpc_latency_ns / 1000
+
+
+def stress_test(stack: str, gbps: float, target_gbps: float,
+                duration_ms: int = 2) -> dict:
+    sim, client, server = _pair(stack, gbps)
+    duration_ns = duration_ms * MS
+    rpc_bytes = 4096 + 128
+    target_rps = target_gbps * 1e9 / 8 / rpc_bytes
+    gap_ns = max(1, int(1e9 / target_rps))
+    latencies = []
+
+    def issue(t_ns: int) -> None:
+        if t_ns >= duration_ns:
+            return
+        client.call(server, None, rpc_bytes, 128,
+                    lambda ex, ok: latencies.append(ex.rpc_latency_ns))
+        sim.schedule(gap_ns, issue, t_ns + gap_ns)
+
+    issue(0)
+    sim.run(until=duration_ns + 500 * MS)
+    return {
+        "avg_latency_us": sum(latencies) / max(1, len(latencies)) / 1000,
+        "consumed_cores": client.cpu.cores_consumed(duration_ns),
+        "achieved_gbps": len(latencies) * rpc_bytes * 8 / duration_ns,
+        "rpcs": len(latencies),
+    }
+
+
+def run_table1() -> str:
+    sections = []
+    for label, gbps, stress_gbps in (("2x25GE", 25.0, 45.0), ("2x100GE", 100.0, 150.0)):
+        single = {s: single_rpc_latency_us(s, gbps) for s in STACKS}
+        stress = {s: stress_test(s, gbps, stress_gbps) for s in STACKS}
+        rows = [
+            ["Single 4KB RPC (us)",
+             f"{single['kernel']:.1f}", f"{single['luna']:.1f}", "-", "-"],
+            [f"{stress_gbps:.0f} Gbps stress (us)",
+             f"{stress['kernel']['avg_latency_us']:.0f}",
+             f"{stress['luna']['avg_latency_us']:.0f}",
+             f"{stress['kernel']['consumed_cores']:.1f}",
+             f"{stress['luna']['consumed_cores']:.1f}"],
+        ]
+        table = format_table(
+            ["", "Kernel lat", "Luna lat", "Kernel cores", "Luna cores"], rows
+        )
+        sections.append(f"Table 1 ({label}):\n{table}")
+        # Shape: LUNA >=3.5x faster single-RPC; kernel needs ~4x the cores.
+        assert single["kernel"] > 3.5 * single["luna"]
+        assert stress["kernel"]["consumed_cores"] > 2.5 * stress["luna"]["consumed_cores"]
+    return "\n".join(sections)
+
+
+def test_table1(benchmark):
+    text = once(benchmark, run_table1)
+    print("\n" + text)
+    save_output("table1_rpc_latency", text)

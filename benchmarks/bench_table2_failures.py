@@ -1,0 +1,120 @@
+"""Table 2: I/Os with no response for >=1s under failure scenarios,
+LUNA vs SOLAR.
+
+Paper (testbed: 90 compute + 82 storage servers, 4-32KB blocks, iodepth 4,
+R:W 1:4): SOLAR scores 0 in every scenario; LUNA scores 0 only for
+failures that fail-stop visibly (ToR port, spine switch) and hangs I/Os
+under ToR switch failure, 75% packet drop, ToR reboot, and ToR/spine
+blackholes.
+
+The reproduction scales the testbed down (the mechanism, not the fleet
+size, decides who hangs) and applies the same seven scenarios.
+"""
+
+from __future__ import annotations
+
+from common import format_table, once, save_output
+
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.faults import IoHangMonitor
+from repro.net.failures import (
+    random_drop,
+    switch_blackhole,
+    switch_failure,
+    switch_reboot,
+    tor_port_failure,
+)
+from repro.sim import MS, SECOND
+
+BLOCKS = (4096, 8192, 16384, 32768)  # 4-32KB
+RUN_NS = 1_500 * MS
+FAIL_AT = 50 * MS
+#: Pacing between an I/O's completion and its slot's next issue: keeps the
+#: exposure window long (>1s past the failure) while bounding the event
+#: count to something a Python event loop chews through quickly.
+THINK_NS = 1 * MS
+
+
+def scenario_list(host: str):
+    # The seven rows of Table 2, in order.  The ToR scenarios target the
+    # first compute ToR (index 0) — one of the dual-homed pair.
+    return [
+        ("ToR switch port failure", lambda: tor_port_failure(host)),
+        # Data-plane death, PHYs up: the case that hung LUNA for 216 I/Os.
+        ("ToR switch failure", lambda: switch_failure("tor")),
+        # Crash with links down: ECMP converges for everyone (paper: 0/0).
+        ("Spine switch failure", lambda: switch_failure("spine", link_down=True)),
+        ("Packet drop rate=75%", lambda: random_drop("tor", 0.75)),
+        ("ToR switch reboot/isolation", lambda: switch_reboot("tor", 60 * SECOND)),
+        ("Blackhole in a ToR switch", lambda: switch_blackhole("tor", 0.5)),
+        ("Blackhole in a Spine switch", lambda: switch_blackhole("spine", 0.5)),
+    ]
+
+
+def run_scenario(stack: str, make_scenario) -> int:
+    dep = EbsDeployment(DeploymentSpec(
+        stack=stack, seed=91,
+        compute_racks=1, compute_hosts_per_rack=3,
+        storage_racks=2, storage_hosts_per_rack=4,
+    ))
+    hosts = dep.compute_host_names()
+    monitor = IoHangMonitor(dep.sim, threshold_ns=1 * SECOND)
+    vds = {
+        host: VirtualDisk(dep, f"vd{i}", host, 256 * 1024 * 1024)
+        for i, host in enumerate(hosts)
+    }
+    rngs = {host: dep.sim.rng.stream(f"t2/{host}") for host in hosts}
+    scenario = make_scenario()
+    dep.sim.schedule_at(FAIL_AT, scenario.apply, dep.topology)
+
+    def issue(host: str, slot: int) -> None:
+        """iodepth-4 closed loop per host, R:W = 1:4, 4-32KB blocks."""
+        if dep.sim.now > RUN_NS:
+            return
+        rng = rngs[host]
+        size = rng.choice(BLOCKS)
+        vd = vds[host]
+        max_off = (vd.size_bytes - size) // 4096
+        offset = rng.randint(0, max_off) * 4096
+
+        def done(io) -> None:
+            dep.sim.schedule(THINK_NS, issue, host, slot)
+
+        if rng.random() < 0.2:
+            io = vd.read(offset, size, done)
+        else:
+            io = vd.write(offset, size, done)
+        monitor.watch(io)
+
+    for host in hosts:
+        for slot in range(4):  # I/O depth of 4
+            issue(host, slot)
+    dep.run(until_ns=RUN_NS + 2 * SECOND)
+    assert monitor.watched > 500, "load generator produced too few I/Os"
+    return monitor.hangs
+
+
+def run_table2() -> str:
+    hangs = {}
+    sample_host = "cp/r0/h0"
+    for name, make in scenario_list(sample_host):
+        hangs[name] = {
+            stack: run_scenario(stack, make) for stack in ("luna", "solar")
+        }
+    rows = [[name, counts["luna"], counts["solar"]] for name, counts in hangs.items()]
+    table = format_table(["Failure scenario", "LUNA", "SOLAR"], rows)
+
+    # Shape assertions (the paper's qualitative result):
+    # SOLAR never hangs; LUNA hangs under silent/partial failures.
+    assert all(counts["solar"] == 0 for counts in hangs.values()), hangs
+    assert hangs["ToR switch port failure"]["luna"] == 0  # dual homing absorbs it
+    silent = ("Packet drop rate=75%", "Blackhole in a ToR switch",
+              "Blackhole in a Spine switch", "ToR switch failure")
+    assert sum(hangs[s]["luna"] for s in silent) > 0, hangs
+    return "Table 2 (I/Os unanswered >=1s under failure scenarios):\n" + table
+
+
+def test_table2(benchmark):
+    text = once(benchmark, run_table2)
+    print("\n" + text)
+    save_output("table2_failures", text)

@@ -1,0 +1,57 @@
+"""Table 3: SOLAR's FPGA resource consumption (LUT% / BRAM% per module).
+
+Paper: Addr 5.1/8.1, Block 0.2/8.6, QoS 0.1/0.4, SEC 2.8/0.9, CRC 0.3/0.0,
+Total 8.5/18.2.  The reproduction instantiates the real offload (tables +
+pipelines registered against the FPGA's budget) and prints the device's
+resource report; it also demonstrates the scaling model (Addr BRAM grows
+with table depth) and that over-subscription is rejected.
+"""
+
+from __future__ import annotations
+
+import pytest
+from common import format_table, once, save_output
+
+from repro.core.dpu_offload import SolarOffload, table3_specs
+from repro.ebs import DeploymentSpec, EbsDeployment
+from repro.host.fpga import FpgaResourceError
+
+
+def run_table3() -> str:
+    dep = EbsDeployment(DeploymentSpec(stack="solar", seed=1))
+    offload = next(iter(dep.solar_offloads.values()))
+    report = offload.resource_report()
+    rows = [
+        [name, f"{vals['lut_pct']:.1f}", f"{vals['bram_pct']:.1f}"]
+        for name, vals in report.items()
+    ]
+    table = "Table 3 (SOLAR FPGA resource consumption):\n" + format_table(
+        ["Module", "LUT (%)", "BRAM (%)"], rows
+    )
+    # Shape: identical module set and totals as the paper.
+    assert set(report) == {"Addr", "Block", "QoS", "SEC", "CRC", "Total"}
+    assert report["Total"]["lut_pct"] == pytest.approx(8.5)
+    assert report["Total"]["bram_pct"] == pytest.approx(18.2, abs=0.25)
+    assert report["Addr"]["bram_pct"] == pytest.approx(8.1)
+
+    # Scaling model: doubling the Addr table doubles its BRAM share.
+    scaled = table3_specs(addr_capacity=32_768)
+    assert scaled["Addr"].bram_pct == pytest.approx(16.2)
+
+    # Over-subscription is a construction-time error, not a silent clip:
+    # a device whose remaining slice is smaller than SOLAR's needs (the
+    # FPGA is shared with other hypervisor functions, §4.4) rejects it.
+    from repro.host.fpga import FpgaDevice
+    from repro.sim import Simulator
+
+    tiny = FpgaDevice(Simulator(), "tiny", bram_budget_pct=10.0)
+    with pytest.raises(FpgaResourceError):
+        for spec in table3_specs().values():
+            tiny.register_module(spec)
+    return table
+
+
+def test_table3(benchmark):
+    text = once(benchmark, run_table3)
+    print("\n" + text)
+    save_output("table3_hw_resources", text)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Failure drill: replay the §3.3 core-switch incident on LUNA and SOLAR.
+
+The paper's war story: one line card of a core switch fails, silently
+blackholing ~4% of flows; network operations take 12 minutes to isolate
+the card and the storage another 30 minutes to recover.  "The storage
+would have no visibility to the failure if LUNA could have found a good
+network path ... within one second."
+
+This drill injects a partial blackhole at a core switch while guests do
+I/O, and shows what each generation's guests experience: LUNA connections
+pinned (by their 5-tuple) to the dead card hang for the duration; SOLAR
+shifts paths within milliseconds and nobody notices.
+
+Run:  python examples/failure_drill.py
+"""
+
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.faults import IoHangMonitor
+from repro.net.failures import switch_blackhole
+from repro.sim import MS, SECOND
+
+INCIDENT_AT = 20 * MS
+REPAIR_AT = 2 * SECOND  # "12 minutes" scaled into the drill window
+DRILL_END = 3 * SECOND
+
+
+def drill(stack: str) -> dict:
+    dep = EbsDeployment(DeploymentSpec(stack=stack, seed=42,
+                                       compute_racks=2, compute_hosts_per_rack=2))
+    vds = [
+        VirtualDisk(dep, f"vd{i}", host, 256 * 1024 * 1024)
+        for i, host in enumerate(dep.compute_host_names())
+    ]
+    monitor = IoHangMonitor(dep.sim, threshold_ns=1 * SECOND)
+
+    # The incident: a core line card silently drops half the flows that
+    # hash onto it.
+    incident = switch_blackhole("core", fraction=0.5, salt="linecard-7")
+    dep.sim.schedule_at(INCIDENT_AT, incident.apply, dep.topology)
+    dep.sim.schedule_at(REPAIR_AT, incident.revert, dep.topology)
+
+    worst_latency = [0]
+    issued = [0]
+
+    def issue(vd: VirtualDisk) -> None:
+        if dep.sim.now > DRILL_END - 500 * MS:
+            return
+
+        def done(io) -> None:
+            worst_latency[0] = max(worst_latency[0], io.trace.total_ns)
+            dep.sim.schedule(1 * MS, issue, vd)  # guest think time
+
+        io = vd.write((issued[0] % 2000) * 4096, 4096, done)
+        monitor.watch(io)
+        issued[0] += 1
+
+    for vd in vds:
+        for _ in range(2):  # small I/O depth per guest
+            issue(vd)
+    dep.run(until_ns=DRILL_END)
+    result = {
+        "ios_issued": monitor.watched,
+        "io_hangs": monitor.hangs,
+        "worst_io_ms": worst_latency[0] / 1e6,
+    }
+    if stack == "solar":
+        shifts = sum(
+            m.path_shifts
+            for client in dep.solar_clients.values()
+            for m in client._paths.values()
+        )
+        result["path_shifts"] = shifts
+    return result
+
+
+def main() -> None:
+    print(__doc__.split("\n\n")[1])
+    print()
+    for stack in ("luna", "solar"):
+        r = drill(stack)
+        line = (f"{stack:6s}: {r['ios_issued']:5d} I/Os issued, "
+                f"{r['io_hangs']:4d} hung >=1s, "
+                f"worst I/O {r['worst_io_ms']:8.1f} ms")
+        if "path_shifts" in r:
+            line += f", {r['path_shifts']} path shifts"
+        print(line)
+    print("\nLUNA guests wait for network operations to isolate the card; "
+          "SOLAR routes around it within a few RTOs (§4.7: zero I/O hangs "
+          "in two years of deployment).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Integrity audit: FPGA bit flips vs the software CRC aggregation.
+
+§4.4: "bit flipping in FPGA can corrupt data and table entries ... FPGA
+error is the major contributor by 37%" of corruption events; §4.5: the
+CPU "merely verifies segment level CRC with the CRC values for each data
+block", exploiting CRC32's linearity — CRC(A^B) = CRC(A)^CRC(B).
+
+This example (1) demonstrates the algebra on real bytes, (2) runs writes
+with real payloads through a SOLAR deployment while an injector flips
+bits in the FPGA datapath, and (3) shows every corruption being caught by
+the aggregate check and localized by the software fallback.
+
+Run:  python examples/integrity_audit.py
+"""
+
+import random
+
+from repro.core.crc_agg import CrcAggregator, aggregate_payload_check
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.faults import BitFlipInjector
+from repro.storage.crc import crc32, crc32_raw, xor_bytes
+
+
+def demonstrate_algebra() -> None:
+    rng = random.Random(1)
+    a, b, c = (rng.randbytes(4096) for _ in range(3))
+    lhs = crc32_raw(xor_bytes(xor_bytes(a, b), c))
+    rhs = crc32_raw(a) ^ crc32_raw(b) ^ crc32_raw(c)
+    print(f"CRC(A^B^C) = {lhs:#010x}")
+    print(f"CRC(A)^CRC(B)^CRC(C) = {rhs:#010x}  -> equal: {lhs == rhs}")
+    assert aggregate_payload_check([a, b, c],
+                                   [crc32_raw(x) for x in (a, b, c)])
+
+
+def run_audit(payload_flip_rate: float = 0.15, writes: int = 60) -> None:
+    dep = EbsDeployment(DeploymentSpec(stack="solar", seed=55))
+    host = dep.compute_host_names()[0]
+    vd = VirtualDisk(dep, "audited", host, 256 * 1024 * 1024)
+    offload = dep.solar_offloads[host]
+    injector = BitFlipInjector(dep.sim.rng.stream("audit"),
+                               payload_flip_rate=payload_flip_rate)
+    offload.fault_injector = injector
+    client = dep.solar_clients[host]
+
+    rng = random.Random(2)
+    payloads = {}
+    done = []
+    for i in range(writes):
+        data = rng.randbytes(4096)
+        payloads[i] = data
+        dep.sim.schedule(i * 100_000, vd.write, i * 4096, 4096, done.append, data)
+    dep.run()
+
+    print(f"\nwrites: {len(done)}; FPGA bit flips injected: "
+          f"{injector.total_injected}")
+    print(f"aggregation checks run: {client.aggregator.checks}; "
+          f"mismatches detected: {client.integrity_events}")
+    assert client.integrity_events == injector.total_injected
+
+    # Localize one corruption with the software fallback path.
+    corrupted = [io for io in done if io.trace.error == "integrity-mismatch"]
+    if corrupted:
+        io = corrupted[0]
+        idx = io.offset_bytes // 4096
+        agg = CrcAggregator()
+        stored = next(
+            (data for chunk in dep.chunk_servers.values()
+             for (seg, lba), (data, _crc) in chunk.store.items() if lba == idx),
+            None,
+        )
+        bad = agg.localize([stored], [crc32(payloads[idx])])
+        print(f"localized corrupted block of I/O #{io.io_id}: "
+              f"block index {bad} differs from the guest payload")
+    print("\nEvery injected flip was caught before acking the guest — the "
+          "paper's 'high confidence on data integrity' property.")
+
+
+def main() -> None:
+    print("1) CRC32 linearity on real bytes (§4.5):")
+    demonstrate_algebra()
+    print("\n2) Live audit on a SOLAR deployment with fault injection:")
+    run_audit()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a reproduction of "From Luna to Solar: The Evolutions of the
+Compute-to-Storage Networks in Alibaba Cloud" (SIGCOMM 2022).
+
+The package simulates Alibaba Cloud's EBS datapath end to end —
+guest NVMe command → storage agent → frontend network → block server →
+backend network → chunk server SSD — under four frontend stacks:
+
+* ``kernel`` — the legacy kernel TCP baseline;
+* ``luna`` — the user-space TCP stack (§3);
+* ``rdma`` — a RoCEv2 RC comparator (§3.1, Figures 14/15);
+* ``solar`` — the storage-oriented UDP stack with full DPU offload (§4),
+  the paper's primary contribution (:mod:`repro.core`).
+
+Start with :mod:`repro.ebs` for whole-deployment experiments, or
+:mod:`repro.core` for SOLAR itself.
+"""
+
+from .profiles import DEFAULT as DEFAULT_PROFILES
+from .profiles import BLOCK_SIZE, Profiles
+
+__version__ = "1.0.0"
+
+__all__ = ["Profiles", "DEFAULT_PROFILES", "BLOCK_SIZE", "__version__"]

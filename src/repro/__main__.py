@@ -1,0 +1,118 @@
+"""Command-line interface: quick experiments without writing a script.
+
+Usage::
+
+    python -m repro info
+    python -m repro latency --stack solar --kind write --size-kb 16
+    python -m repro compare --size-kb 4
+    python -m repro failover --stack luna
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .ebs import DeploymentSpec, EbsDeployment, STACKS, VirtualDisk
+from .faults import IoHangMonitor
+from .net.failures import switch_blackhole
+from .sim import MS, SECOND
+
+
+def _deploy(stack: str, seed: int) -> tuple:
+    dep = EbsDeployment(DeploymentSpec(stack=stack, seed=seed))
+    vd = VirtualDisk(dep, "cli-vd", dep.compute_host_names()[0], 512 * 1024 * 1024)
+    return dep, vd
+
+
+def _one_io(dep, vd, kind: str, size_bytes: int):
+    done = []
+    getattr(vd, kind)(0, size_bytes, done.append)
+    dep.run()
+    return done[0].trace
+
+
+def cmd_info(_args) -> int:
+    from . import __version__
+
+    print(f"repro {__version__} — 'From Luna to Solar' (SIGCOMM 2022) reproduction")
+    print(f"stacks: {', '.join(STACKS)}")
+    print("subcommands: info | latency | compare | failover")
+    return 0
+
+
+def cmd_latency(args) -> int:
+    dep, vd = _deploy(args.stack, args.seed)
+    trace = _one_io(dep, vd, args.kind, args.size_kb * 1024)
+    print(f"{args.stack} {args.kind} {args.size_kb}KB: "
+          f"{trace.total_ns / 1000:.1f}us total")
+    for component, ns in trace.components.items():
+        print(f"  {component:4s} {ns / 1000:8.2f}us")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    print(f"{'stack':12s} {'write (us)':>11s} {'read (us)':>10s}")
+    for stack in STACKS:
+        dep, vd = _deploy(stack, args.seed)
+        w = _one_io(dep, vd, "write", args.size_kb * 1024)
+        r = _one_io(dep, vd, "read", args.size_kb * 1024)
+        print(f"{stack:12s} {w.total_ns / 1000:11.1f} {r.total_ns / 1000:10.1f}")
+    return 0
+
+
+def cmd_failover(args) -> int:
+    dep, vd = _deploy(args.stack, args.seed)
+    monitor = IoHangMonitor(dep.sim, threshold_ns=1 * SECOND)
+    scenario = switch_blackhole("spine", 0.5)
+    dep.sim.schedule_at(10 * MS, scenario.apply, dep.topology)
+    count = [0]
+
+    def issue() -> None:
+        if dep.sim.now > 500 * MS:
+            return
+        io = vd.write((count[0] % 1000) * 4096, 4096, lambda io: None)
+        monitor.watch(io)
+        count[0] += 1
+        dep.sim.schedule(2 * MS, issue)
+
+    issue()
+    dep.run(until_ns=2 * SECOND)
+    print(f"{args.stack}: {monitor.watched} I/Os under a 50% spine blackhole, "
+          f"{monitor.hangs} hung >= 1s")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("info", help="version and capabilities")
+
+    p_lat = sub.add_parser("latency", help="one I/O's latency breakdown")
+    p_lat.add_argument("--stack", choices=STACKS, default="solar")
+    p_lat.add_argument("--kind", choices=("read", "write"), default="write")
+    p_lat.add_argument("--size-kb", type=int, default=4)
+    p_lat.add_argument("--seed", type=int, default=0)
+
+    p_cmp = sub.add_parser("compare", help="all stacks side by side")
+    p_cmp.add_argument("--size-kb", type=int, default=4)
+    p_cmp.add_argument("--seed", type=int, default=0)
+
+    p_fo = sub.add_parser("failover", help="blackhole drill on one stack")
+    p_fo.add_argument("--stack", choices=STACKS, default="solar")
+    p_fo.add_argument("--seed", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "latency": cmd_latency,
+        "compare": cmd_compare,
+        "failover": cmd_failover,
+        None: cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

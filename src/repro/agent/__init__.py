@@ -1,0 +1,26 @@
+"""Storage agents: the hypervisor function converting guest I/O into
+network transitions (software SA and SOLAR SA), plus the storage RPC
+service on block servers."""
+
+from .base import IoRequest, StorageAgent
+from .rpc import (
+    RPC_OVERHEAD_BYTES,
+    StorageRpcPayload,
+    StorageRpcResult,
+    StorageRpcServer,
+    WRITE_ACK_BYTES,
+)
+from .sa_software import SoftwareSA
+from .sa_solar import SolarSA
+
+__all__ = [
+    "IoRequest",
+    "StorageAgent",
+    "SoftwareSA",
+    "SolarSA",
+    "StorageRpcPayload",
+    "StorageRpcResult",
+    "StorageRpcServer",
+    "RPC_OVERHEAD_BYTES",
+    "WRITE_ACK_BYTES",
+]

@@ -1,0 +1,57 @@
+"""Storage-agent interface: the hypervisor function that turns guest I/O
+into network transitions (§2.2, Figure 2)."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..metrics.trace import IoTrace
+from ..profiles import BLOCK_SIZE
+
+_io_ids = itertools.count(1)
+
+
+@dataclass
+class IoRequest:
+    """One guest I/O operation against a virtual disk."""
+
+    kind: str  # "read" | "write"
+    vd_id: str
+    offset_bytes: int
+    size_bytes: int
+    on_complete: Callable[["IoRequest"], None]
+    data: Optional[bytes] = None  # real payload for integrity experiments
+    io_id: int = field(default_factory=lambda: next(_io_ids))
+    trace: Optional[IoTrace] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"bad I/O kind {self.kind!r}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"non-positive I/O size: {self.size_bytes}")
+        if self.offset_bytes % BLOCK_SIZE:
+            raise ValueError(f"offset {self.offset_bytes} not block-aligned")
+        if self.data is not None:
+            if self.kind != "write":
+                raise ValueError("payload only valid on writes")
+            if len(self.data) != self.size_bytes:
+                raise ValueError(
+                    f"payload length {len(self.data)} != size {self.size_bytes}"
+                )
+
+    @property
+    def start_lba(self) -> int:
+        return self.offset_bytes // BLOCK_SIZE
+
+    @property
+    def num_blocks(self) -> int:
+        return (self.size_bytes + BLOCK_SIZE - 1) // BLOCK_SIZE
+
+
+class StorageAgent:
+    """Common interface of the software SA and the SOLAR SA."""
+
+    def submit(self, io: IoRequest) -> None:
+        raise NotImplementedError

@@ -1,0 +1,117 @@
+"""Storage RPC payloads and the block-server-side RPC service.
+
+This is the "Storage RPC" box of Figure 1 for the stream stacks (kernel
+TCP, LUNA, RDMA): the SA packs an extent's blocks into one RPC ("RPC may
+combine multiple blocks in a transition", §2.2), and the block server's
+service unpacks it, drives replication/reads, and responds with timing
+metadata for trace attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim.engine import Simulator
+from ..storage.block import DataBlock
+from ..storage.block_server import BlockServer
+from ..storage.chunk_server import ChunkReply
+from ..storage.segment_table import Extent
+from ..transport.base import RpcExchange, RpcTransport
+
+#: Fixed RPC framing overhead on the wire (headers + extent descriptor).
+RPC_OVERHEAD_BYTES = 160
+WRITE_ACK_BYTES = 96
+
+
+@dataclass
+class StorageRpcPayload:
+    """What the SA sends to a block server in one RPC."""
+
+    kind: str  # "write" | "read"
+    extent: Extent
+    blocks: List[DataBlock]
+    crcs: List[int] = field(default_factory=list)
+
+    def request_bytes(self) -> int:
+        if self.kind == "write":
+            return RPC_OVERHEAD_BYTES + sum(b.size_bytes for b in self.blocks)
+        return RPC_OVERHEAD_BYTES
+
+    def response_bytes(self) -> int:
+        if self.kind == "write":
+            return WRITE_ACK_BYTES
+        return RPC_OVERHEAD_BYTES + sum(b.size_bytes for b in self.blocks)
+
+
+@dataclass
+class StorageRpcResult:
+    """Block-server response payload."""
+
+    ok: bool
+    blocks: List[ChunkReply] = field(default_factory=list)
+
+
+class StorageRpcServer:
+    """Serves storage RPCs arriving over a stream transport."""
+
+    def __init__(self, sim: Simulator, transport: RpcTransport, block_server: BlockServer):
+        self.sim = sim
+        self.transport = transport
+        self.block_server = block_server
+        transport.register_handler(self._handle)
+        self.writes = 0
+        self.reads = 0
+
+    # ------------------------------------------------------------------
+    def _handle(self, payload: StorageRpcPayload, exchange: RpcExchange, respond) -> None:
+        started_ns = self.sim.now
+        if payload.kind == "write":
+            self.writes += 1
+            self._handle_write(payload, exchange, respond, started_ns)
+        elif payload.kind == "read":
+            self.reads += 1
+            self._handle_read(payload, exchange, respond, started_ns)
+        else:
+            raise ValueError(f"unknown storage RPC kind {payload.kind!r}")
+
+    def _handle_write(self, payload, exchange, respond, started_ns: int) -> None:
+        state = {"pending": len(payload.blocks), "ok": True, "ssd_ns": 0}
+
+        def one_done(ok: bool, replies: List[ChunkReply]) -> None:
+            state["pending"] -= 1
+            state["ok"] = state["ok"] and ok
+            state["ssd_ns"] = max(
+                state["ssd_ns"],
+                max((r.service_ns for r in replies if isinstance(r, ChunkReply)), default=0),
+            )
+            if state["pending"] == 0:
+                exchange.meta["storage_ns"] = self.sim.now - started_ns
+                exchange.meta["ssd_ns"] = state["ssd_ns"]
+                respond(WRITE_ACK_BYTES, StorageRpcResult(state["ok"]))
+
+        crcs = payload.crcs or [b.crc for b in payload.blocks]
+        for block, crc in zip(payload.blocks, crcs):
+            self.block_server.handle_write(payload.extent.segment, block, crc, one_done)
+
+    def _handle_read(self, payload, exchange, respond, started_ns: int) -> None:
+        wanted = [
+            DataBlock(payload.extent.segment.vd_id, payload.extent.start_lba + i)
+            for i in range(payload.extent.num_blocks)
+        ]
+        state: Dict[str, object] = {"pending": len(wanted), "replies": []}
+
+        def one_done(reply: ChunkReply) -> None:
+            replies: List[ChunkReply] = state["replies"]  # type: ignore[assignment]
+            replies.append(reply)
+            state["pending"] = int(state["pending"]) - 1  # type: ignore[arg-type]
+            if state["pending"] == 0:
+                exchange.meta["storage_ns"] = self.sim.now - started_ns
+                exchange.meta["ssd_ns"] = max(r.service_ns for r in replies)
+                total = RPC_OVERHEAD_BYTES + sum(r.size_bytes for r in replies)
+                respond(total, StorageRpcResult(True, replies))
+
+        for block in wanted:
+            self.block_server.handle_read(
+                payload.extent.segment, block.vd_id, block.lba, block.size_bytes, one_done
+            )

@@ -1,0 +1,79 @@
+"""SOLAR — the paper's primary contribution.
+
+Subpackages:
+
+* :mod:`~repro.core.headers` — the one-block-one-packet wire format;
+* :mod:`~repro.core.tables` / :mod:`~repro.core.pipeline` — the P4-style
+  match-action datapath (§4.6);
+* :mod:`~repro.core.dpu_offload` — the SA datapath bound to the ALI-DPU
+  FPGA, with Table 3's resource budget;
+* :mod:`~repro.core.multipath` — per-path state, selection, failure
+  inference (§4.5);
+* :mod:`~repro.core.congestion` — HPCC-style INT-driven CC (§4.8);
+* :mod:`~repro.core.crc_agg` — the software CRC aggregation check (§4.5);
+* :mod:`~repro.core.solar` — the client/server protocol engine.
+"""
+
+from .congestion import HpccCongestionControl
+from .crc_agg import CrcAggregator, IntegrityReport, aggregate_payload_check, xor_aggregate
+from .dpu_offload import (
+    ReadDatapathResult,
+    SolarOffload,
+    WriteDatapathResult,
+    table3_specs,
+)
+from .headers import (
+    ACK_PACKET_BYTES,
+    EbsHeader,
+    OP_READ_BLOCK,
+    OP_READ_REQUEST,
+    OP_WRITE_ACK,
+    OP_WRITE_BLOCK,
+    READ_REQUEST_BYTES,
+    RpcHeader,
+    data_packet_bytes,
+)
+from .multipath import MultipathManager, PathState, PATH_PORT_BASE
+from .probing import PathProber, handle_probe
+from .pipeline import MatchActionStage, Pipeline, PipelineContext, Stage
+from .solar import SERVER_PORT, SolarClient, SolarPacket, SolarRpc, SolarServer
+from .tables import AddrEntry, AddrTable, MatchActionTable, TableFullError
+
+__all__ = [
+    "SolarClient",
+    "SolarServer",
+    "SolarRpc",
+    "SolarPacket",
+    "SERVER_PORT",
+    "SolarOffload",
+    "WriteDatapathResult",
+    "ReadDatapathResult",
+    "table3_specs",
+    "MultipathManager",
+    "PathState",
+    "PATH_PORT_BASE",
+    "PathProber",
+    "handle_probe",
+    "HpccCongestionControl",
+    "CrcAggregator",
+    "IntegrityReport",
+    "xor_aggregate",
+    "aggregate_payload_check",
+    "Pipeline",
+    "Stage",
+    "MatchActionStage",
+    "PipelineContext",
+    "MatchActionTable",
+    "AddrTable",
+    "AddrEntry",
+    "TableFullError",
+    "EbsHeader",
+    "RpcHeader",
+    "data_packet_bytes",
+    "OP_WRITE_BLOCK",
+    "OP_WRITE_ACK",
+    "OP_READ_REQUEST",
+    "OP_READ_BLOCK",
+    "ACK_PACKET_BYTES",
+    "READ_REQUEST_BYTES",
+]

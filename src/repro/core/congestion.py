@@ -1,0 +1,103 @@
+"""HPCC-style INT-driven congestion control, one instance per path.
+
+§4.5: "the CPU will get the acknowledgments with the path condition (i.e.,
+timeout, RTT) and congestion feedbacks (i.e., INT) for path selection and
+congestion control for each RPC independently."  §4.8: "we use a per-packet
+ACK to perform a fine-grained congestion control algorithm (e.g., HPCC)".
+
+This is HPCC's core update rule [Li et al., SIGCOMM'19], lightly adapted:
+every ACK echoes the data packet's per-hop INT records (queue depth +
+cumulative tx bytes + timestamp); the sender estimates each hop's
+utilization
+
+    U_hop = qlen / (B * T_base)  +  txRate / B
+
+and drives its window toward ``eta`` (95%) of the bottleneck:
+
+    W = W_c / (U_max / eta) + W_ai        (multiplicative + additive)
+
+with W_c updated once per RTT (HPCC's "reference window" rule).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..net.packet import IntRecord
+
+
+class HpccCongestionControl:
+    """Per-path window controller fed by INT echoes."""
+
+    def __init__(
+        self,
+        base_rtt_ns: int,
+        mtu_bytes: int,
+        line_gbps: float,
+        eta: float = 0.95,
+        additive_increase_bytes: Optional[int] = None,
+        max_stages: int = 5,
+    ):
+        if base_rtt_ns <= 0 or mtu_bytes <= 0 or line_gbps <= 0:
+            raise ValueError("base_rtt, mtu and line rate must be positive")
+        self.base_rtt_ns = base_rtt_ns
+        self.mtu_bytes = mtu_bytes
+        self.line_gbps = line_gbps
+        self.eta = eta
+        #: bandwidth-delay product: the window that exactly fills the path.
+        self.bdp_bytes = int(line_gbps * base_rtt_ns / 8)  # Gbps*ns/8 = bytes
+        self.max_window = max(self.bdp_bytes * 4, mtu_bytes * 8)
+        self.wai = (
+            additive_increase_bytes
+            if additive_increase_bytes is not None
+            else max(1, self.bdp_bytes // max_stages // 8)
+        )
+        self.window_bytes = float(max(self.bdp_bytes, mtu_bytes))
+        self._wc = self.window_bytes  # reference window, updated per RTT
+        self._last_update_ns = 0
+        #: previous INT record per switch, for rate estimation.
+        self._last_int: Dict[str, IntRecord] = {}
+        self.acks_seen = 0
+        self.timeouts_seen = 0
+
+    # ------------------------------------------------------------------
+    def _hop_utilization(self, record: IntRecord) -> Optional[float]:
+        prev = self._last_int.get(record.switch)
+        self._last_int[record.switch] = record
+        link_bytes_per_ns = record.link_gbps / 8.0
+        u_queue = record.queue_bytes / (link_bytes_per_ns * self.base_rtt_ns)
+        if prev is None or record.timestamp_ns <= prev.timestamp_ns:
+            return u_queue if prev is not None else None
+        tx_rate = (record.tx_bytes - prev.tx_bytes) / (
+            record.timestamp_ns - prev.timestamp_ns
+        )
+        return u_queue + tx_rate / link_bytes_per_ns
+
+    def on_ack(self, int_records: List[IntRecord], now_ns: int) -> float:
+        """Process one ACK's INT echo; returns the new window (bytes)."""
+        self.acks_seen += 1
+        utilizations = [u for u in map(self._hop_utilization, int_records) if u is not None]
+        if not utilizations:
+            # No usable telemetry yet (first ACK per hop): gentle additive growth.
+            self.window_bytes = min(self.window_bytes + self.wai, self.max_window)
+            return self.window_bytes
+        u_max = max(utilizations)
+        target = self._wc / max(u_max / self.eta, 0.01) + self.wai
+        self.window_bytes = float(min(max(target, self.mtu_bytes), self.max_window))
+        if now_ns - self._last_update_ns >= self.base_rtt_ns:
+            self._wc = self.window_bytes
+            self._last_update_ns = now_ns
+        return self.window_bytes
+
+    def on_timeout(self) -> float:
+        """Multiplicative decrease on loss-by-timeout."""
+        self.timeouts_seen += 1
+        self.window_bytes = max(self.mtu_bytes, self.window_bytes / 2)
+        self._wc = self.window_bytes
+        return self.window_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<HPCC w={self.window_bytes / 1024:.1f}KB bdp={self.bdp_bytes / 1024:.1f}KB "
+            f"acks={self.acks_seen}>"
+        )

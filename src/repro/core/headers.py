@@ -1,0 +1,70 @@
+"""SOLAR wire format: the packet *is* the block (§4.4-4.5).
+
+A SOLAR datagram stacks, inside UDP:
+
+    | RPC HDR | EBS HDR | payload (exactly one data block) | payload CRC |
+
+The UDP source port is the path identifier (§4.5); the EBS header carries
+the storage semantics (operation, VD, segment, LBA) that the hardware
+pipeline parses *instead of* the CPU; the RPC header identifies the packet
+within its (possibly multi-block) RPC.  Every packet is self-contained: a
+receiver can process it with no reassembly state, in any arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Wire sizes of SOLAR's protocol headers (bytes).  The EBS+RPC headers
+#: ride inside the generic L2-L4 overhead accounted by
+#: ``NetworkProfile.header_overhead_bytes``.
+RPC_HEADER_BYTES = 16
+EBS_HEADER_BYTES = 40
+CRC_TRAILER_BYTES = 4
+ACK_PACKET_BYTES = 96  # headers + path condition + congestion feedback
+READ_REQUEST_BYTES = 128  # headers + extent descriptor
+
+#: SOLAR operation codes.
+OP_WRITE_BLOCK = "write_block"
+OP_WRITE_ACK = "write_ack"
+OP_READ_REQUEST = "read_request"
+OP_READ_BLOCK = "read_block"
+
+VALID_OPS = (OP_WRITE_BLOCK, OP_WRITE_ACK, OP_READ_REQUEST, OP_READ_BLOCK)
+
+
+@dataclass(frozen=True)
+class EbsHeader:
+    """Storage semantics embedded in the packet (Figure 12's 'EBS HDR')."""
+
+    op: str
+    vd_id: str
+    segment_id: str
+    lba: int
+    block_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.op not in VALID_OPS:
+            raise ValueError(f"unknown EBS op {self.op!r}")
+        if self.lba < 0 or self.block_bytes < 0:
+            raise ValueError(f"bad EBS header: lba={self.lba}, bytes={self.block_bytes}")
+
+
+@dataclass(frozen=True)
+class RpcHeader:
+    """Packet identity within its RPC (Figure 13's 'RPC ID | Pkt ID')."""
+
+    rpc_id: int
+    pkt_id: int
+    total_pkts: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.pkt_id < self.total_pkts:
+            raise ValueError(
+                f"pkt_id {self.pkt_id} out of range for {self.total_pkts} packets"
+            )
+
+
+def data_packet_bytes(block_bytes: int) -> int:
+    """Wire payload size of a one-block data packet, excluding L2-L4."""
+    return RPC_HEADER_BYTES + EBS_HEADER_BYTES + block_bytes + CRC_TRAILER_BYTES

@@ -1,0 +1,105 @@
+"""Match-action tables of the SOLAR hardware datapath (Figures 12/13).
+
+§4.5 calls QoS and Block "two typical match-action table checking steps",
+and §4.6's claim is that the whole SA datapath "can be expressed with the
+P4 language".  These classes are the table half of that claim: bounded
+exact-match tables with miss policies and occupancy accounting (BRAM is
+the scarce resource — Table 3).  The pipeline half lives in
+:mod:`repro.core.pipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, Optional, Tuple, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class TableFullError(RuntimeError):
+    """A hardware table ran out of entries (BRAM exhausted)."""
+
+
+class MatchActionTable(Generic[K, V]):
+    """A bounded exact-match table with hit/miss statistics."""
+
+    def __init__(self, name: str, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"table {name!r} needs positive capacity")
+        self.name = name
+        self.capacity = capacity
+        self._entries: Dict[K, V] = {}
+        self.hits = 0
+        self.misses = 0
+        self.peak_occupancy = 0
+
+    def insert(self, key: K, value: V) -> None:
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            raise TableFullError(
+                f"table {self.name!r} full ({self.capacity} entries)"
+            )
+        self._entries[key] = value
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+
+    def lookup(self, key: K) -> Optional[V]:
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def remove(self, key: K) -> Optional[V]:
+        return self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MatchActionTable {self.name!r} {len(self._entries)}/{self.capacity} "
+            f"hits={self.hits} misses={self.misses}>"
+        )
+
+
+@dataclass(frozen=True)
+class AddrEntry:
+    """Addr-table row (Figure 13): where an incoming READ block lands.
+
+    Populated by the RPC module when the READ request is issued, consumed
+    by the FPGA when the response block arrives, "and removes it after the
+    reply arrives" — the only per-request hardware state SOLAR keeps.
+    """
+
+    rpc_id: int
+    pkt_id: int
+    guest_addr: int
+    length: int
+    vd_id: str
+    lba: int
+    expected_crc: Optional[int] = None
+
+
+class AddrTable(MatchActionTable[Tuple[int, int], AddrEntry]):
+    """(RPC ID, Pkt ID) -> guest memory placement, for READ responses."""
+
+    def __init__(self, capacity: int = 16_384):
+        super().__init__("Addr", capacity)
+
+    def install(self, entry: AddrEntry) -> None:
+        key = (entry.rpc_id, entry.pkt_id)
+        if key in self:
+            raise ValueError(f"Addr entry {key} installed twice")
+        self.insert(key, entry)
+
+    def consume(self, rpc_id: int, pkt_id: int) -> Optional[AddrEntry]:
+        """Look up and remove in one step (line-rate processing: the entry
+        'is cleaned afterward without interrupting the CPU')."""
+        entry = self.lookup((rpc_id, pkt_id))
+        if entry is not None:
+            self.remove((rpc_id, pkt_id))
+        return entry

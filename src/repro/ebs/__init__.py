@@ -1,0 +1,29 @@
+"""EBS service assembly: deployments, virtual disks, fleet evolution."""
+
+from .deployment import (
+    DeploymentSpec,
+    EbsDeployment,
+    GENEROUS_QOS,
+    STACKS,
+)
+from .evolution import (
+    DEFAULT_ROLLOUT,
+    EvolutionPoint,
+    QUARTERS,
+    StackSteadyState,
+    fleet_evolution,
+)
+from .virtual_disk import VirtualDisk
+
+__all__ = [
+    "DeploymentSpec",
+    "EbsDeployment",
+    "VirtualDisk",
+    "GENEROUS_QOS",
+    "STACKS",
+    "fleet_evolution",
+    "StackSteadyState",
+    "EvolutionPoint",
+    "DEFAULT_ROLLOUT",
+    "QUARTERS",
+]

@@ -1,0 +1,291 @@
+"""Full EBS deployments: compute cluster + FN fabric + storage cluster,
+wired for one frontend stack.
+
+An :class:`EbsDeployment` assembles, from one spec:
+
+* a Clos FN topology with a compute pod and a storage pod (§2.1);
+* compute servers (VM or bare-metal hosting) with their SA + FN stack;
+* storage servers, each colocating a block server and a chunk server,
+  joined by the BN (RDMA for LUNA/SOLAR eras, kernel TCP for the kernel
+  era — Figure 6's caption);
+* global segment/QoS tables and a trace collector.
+
+Five stack flavours reproduce the paper's comparisons: ``kernel``,
+``luna``, ``rdma``, ``solar`` and ``solar_star`` (SOLAR with datapath
+offload disabled, §4.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..agent.base import IoRequest, StorageAgent
+from ..agent.rpc import StorageRpcServer
+from ..agent.sa_software import SoftwareSA
+from ..agent.sa_solar import SolarSA
+from ..core.dpu_offload import SolarOffload
+from ..core.solar import SolarClient, SolarServer
+from ..host.cpu import CpuComplex
+from ..host.server import ComputeServer, StorageServer
+from ..metrics.trace import TraceCollector
+from ..net.topology import ClosTopology, PodSpec
+from ..profiles import DEFAULT, Profiles, bytes_time_ns
+from ..sim.engine import Simulator
+from ..storage.block_server import BlockServer
+from ..storage.bn import BackendNetwork
+from ..storage.chunk_server import ChunkServer
+from ..storage.crypto import BlockCipher
+from ..storage.qos import QosSpec, QosTable
+from ..storage.segment_table import SegmentTable
+from ..transport.kernel_tcp import KernelTcpTransport
+from ..transport.luna import LunaTransport
+from ..transport.rdma import RdmaTransport
+from ..transport.stream import StreamTransport
+
+STACKS = ("kernel", "luna", "rdma", "solar", "solar_star")
+
+#: Generous default service level so QoS queueing never pollutes latency
+#: measurements (Figure 6 excludes policy-based queueing delays).
+GENEROUS_QOS = QosSpec(iops_limit=2_000_000, bandwidth_bps=400e9)
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Shape and configuration of one EBS deployment."""
+
+    stack: str = "solar"
+    hosting: Optional[str] = None  # default: stack-appropriate
+    compute_racks: int = 2
+    compute_hosts_per_rack: int = 4
+    storage_racks: int = 2
+    storage_hosts_per_rack: int = 4
+    spines_per_pod: int = 2
+    bn_mode: Optional[str] = None  # default: "kernel" for kernel, else "rdma"
+    #: Cores available to the FN stack + SA (None = all infra cores).
+    stack_cores: Optional[int] = None
+    solar_paths: Optional[int] = None
+    #: INT-probe cadence (ns) for SOLAR path selection; None disables the
+    #: §4.5 "explicit path selection" extension (the paper's deployed
+    #: system relies on timeouts alone).
+    solar_probing_ns: Optional[int] = None
+    luna_jumbo: bool = False
+    encrypt_payloads: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stack not in STACKS:
+            raise ValueError(f"stack must be one of {STACKS}, got {self.stack!r}")
+
+    @property
+    def effective_hosting(self) -> str:
+        if self.hosting is not None:
+            return self.hosting
+        # SOLAR only exists on DPUs; kernel/LUNA default to the VM era.
+        return "bare_metal" if self.stack.startswith("solar") or self.stack == "rdma" else "vm"
+
+    @property
+    def effective_bn(self) -> str:
+        if self.bn_mode is not None:
+            return self.bn_mode
+        return "kernel" if self.stack == "kernel" else "rdma"
+
+
+class EbsDeployment:
+    """A runnable EBS installation under one FN stack."""
+
+    def __init__(self, spec: DeploymentSpec, profiles: Profiles = DEFAULT):
+        self.spec = spec
+        self.profiles = profiles.with_overrides(sa={"encrypt": spec.encrypt_payloads})
+        self.sim = Simulator(seed=spec.seed)
+        self.collector = TraceCollector()
+        self.segment_table = SegmentTable()
+        self.qos_table = QosTable()
+        self.cipher = BlockCipher(b"ebs-fleet-key") if spec.encrypt_payloads else None
+        self.topology = ClosTopology(
+            self.sim,
+            self.profiles.network,
+            [
+                PodSpec(
+                    "cp",
+                    spec.compute_racks,
+                    spec.compute_hosts_per_rack,
+                    spines=spec.spines_per_pod,
+                    role="compute",
+                ),
+                PodSpec(
+                    "sp",
+                    spec.storage_racks,
+                    spec.storage_hosts_per_rack,
+                    spines=spec.spines_per_pod,
+                    role="storage",
+                ),
+            ],
+        )
+        self.bn = BackendNetwork(self.sim, self.profiles, spec.effective_bn)
+        self.compute_servers: Dict[str, ComputeServer] = {}
+        self.storage_servers: Dict[str, StorageServer] = {}
+        self.chunk_servers: Dict[str, ChunkServer] = {}
+        self.block_servers: Dict[str, BlockServer] = {}
+        self.agents: Dict[str, StorageAgent] = {}
+        self.client_transports: Dict[str, StreamTransport] = {}
+        self.server_transports: Dict[str, StreamTransport] = {}
+        self.solar_clients: Dict[str, SolarClient] = {}
+        self.solar_offloads: Dict[str, SolarOffload] = {}
+        self.solar_servers: Dict[str, SolarServer] = {}
+        self._build_storage()
+        self._build_compute()
+        self._vds: Dict[str, List] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_storage(self) -> None:
+        for endpoint in self.topology.hosts_in_pod("sp"):
+            server = StorageServer(self.sim, endpoint, role="block")
+            self.storage_servers[endpoint.name] = server
+            self.chunk_servers[endpoint.name] = ChunkServer(
+                self.sim, server, self.profiles.ssd
+            )
+        for name, server in self.storage_servers.items():
+            self.block_servers[name] = BlockServer(
+                self.sim, server, self.bn, self.chunk_servers, self.profiles.ssd
+            )
+        for name, server in self.storage_servers.items():
+            if self.spec.stack.startswith("solar"):
+                self.solar_servers[name] = SolarServer(
+                    self.sim,
+                    server.endpoint,
+                    server.cpu,
+                    self.block_servers[name],
+                    self.profiles,
+                )
+            else:
+                transport = self._make_stream_transport(server.endpoint, server.cpu)
+                self.server_transports[name] = transport
+                StorageRpcServer(self.sim, transport, self.block_servers[name])
+
+    def _make_stream_transport(self, endpoint, cpu: CpuComplex) -> StreamTransport:
+        stack = self.spec.stack
+        if stack == "kernel":
+            return KernelTcpTransport(self.sim, endpoint, cpu, self.profiles)
+        if stack == "luna":
+            return LunaTransport(
+                self.sim, endpoint, cpu, self.profiles, jumbo=self.spec.luna_jumbo
+            )
+        if stack == "rdma":
+            return RdmaTransport(self.sim, endpoint, cpu, self.profiles)
+        raise ValueError(f"no stream transport for stack {stack!r}")
+
+    def _stack_cpu(self, server: ComputeServer) -> CpuComplex:
+        if self.spec.stack_cores is None:
+            return server.infra_cpu
+        base = server.infra_cpu
+        cores = min(self.spec.stack_cores, len(base))
+        return CpuComplex(
+            self.sim, f"{server.name}/stack-cpu", cores, base.cores[0].ghz
+        )
+
+    def base_rtt_ns(self, compute_host: str, storage_host: str) -> int:
+        """Fabric base RTT estimate for HPCC/path init (no queueing)."""
+        net = self.profiles.network
+        hops = self.topology.path_hops(compute_host, storage_host)
+        one_way = hops * (net.switch_forward_ns + net.link_propagation_ns) + net.link_propagation_ns
+        wire = bytes_time_ns(4096 + net.header_overhead_bytes, net.access_gbps)
+        return 2 * one_way + wire
+
+    def _build_compute(self) -> None:
+        storage_names = sorted(self.storage_servers)
+        for endpoint in self.topology.hosts_in_pod("cp"):
+            server = ComputeServer(
+                self.sim, endpoint, self.profiles, hosting=self.spec.effective_hosting
+            )
+            self.compute_servers[endpoint.name] = server
+            cpu = self._stack_cpu(server)
+            if self.spec.stack.startswith("solar"):
+                offload: Optional[SolarOffload] = None
+                if self.spec.stack == "solar":
+                    assert server.dpu is not None, "SOLAR requires bare-metal DPU"
+                    offload = SolarOffload(
+                        self.sim, server.dpu, self.profiles, cipher=self.cipher
+                    )
+                    self.solar_offloads[endpoint.name] = offload
+                client = SolarClient(
+                    self.sim,
+                    endpoint,
+                    cpu,
+                    self.profiles,
+                    offload,
+                    base_rtt_ns=self.base_rtt_ns(endpoint.name, storage_names[0]),
+                    num_paths=self.spec.solar_paths,
+                )
+                client.dpu = server.dpu
+                client.probe_interval_ns = self.spec.solar_probing_ns
+                self.solar_clients[endpoint.name] = client
+                self.agents[endpoint.name] = SolarSA(
+                    self.sim,
+                    server,
+                    client,
+                    self.segment_table,
+                    self.qos_table,
+                    self.profiles,
+                    collector=self.collector,
+                )
+            else:
+                transport = self._make_stream_transport(endpoint, cpu)
+                self.client_transports[endpoint.name] = transport
+                self.agents[endpoint.name] = SoftwareSA(
+                    self.sim,
+                    server,
+                    transport,
+                    self.server_transports,
+                    self.segment_table,
+                    self.qos_table,
+                    self.profiles,
+                    cipher=self.cipher,
+                    collector=self.collector,
+                    cpu=cpu,  # SA and stack compete for the same cores
+                )
+
+    # ------------------------------------------------------------------
+    # Provisioning and I/O
+    # ------------------------------------------------------------------
+    def provision_vd(
+        self, vd_id: str, size_bytes: int, qos: QosSpec = GENEROUS_QOS
+    ) -> None:
+        storage_names = sorted(self.storage_servers)
+        segments = self.segment_table.provision(
+            vd_id, size_bytes, storage_names, storage_names
+        )
+        self.qos_table.install(vd_id, qos)
+        for offload in self.solar_offloads.values():
+            offload.install_vd(vd_id, segments)
+
+    def compute_host_names(self) -> List[str]:
+        return sorted(self.compute_servers)
+
+    def agent_for(self, host_name: str) -> StorageAgent:
+        try:
+            return self.agents[host_name]
+        except KeyError:
+            raise KeyError(
+                f"{host_name!r} is not a compute host; options: "
+                f"{self.compute_host_names()}"
+            ) from None
+
+    def submit_io(
+        self,
+        host_name: str,
+        kind: str,
+        vd_id: str,
+        offset_bytes: int,
+        size_bytes: int,
+        on_complete: Callable[[IoRequest], None],
+        data: Optional[bytes] = None,
+    ) -> IoRequest:
+        io = IoRequest(kind, vd_id, offset_bytes, size_bytes, on_complete, data=data)
+        self.agent_for(host_name).submit(io)
+        return io
+
+    def run(self, until_ns: Optional[int] = None) -> int:
+        return self.sim.run(until=until_ns)

@@ -1,0 +1,86 @@
+"""Fleet-evolution model for Figure 7.
+
+Figure 7 plots the fleet-wide average I/O latency and per-server IOPS,
+quarter by quarter, as LUNA and then SOLAR roll out.  The fleet average at
+any quarter is a mix of the per-stack steady-state numbers weighted by
+rollout fractions; the rollout curves follow the deployment milestones the
+paper gives (LUNA released 2019, fully deployed by 2021 Q1; SOLAR at scale
+from 2020 and "deployed ... since 2020" over ~100K servers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+QUARTERS = [
+    "19Q1", "19Q2", "19Q3", "19Q4",
+    "20Q1", "20Q2", "20Q3", "20Q4",
+    "21Q1", "21Q2", "21Q3", "21Q4",
+]
+
+#: Fraction of the fleet on each stack per quarter (rows sum to 1).
+#: LUNA ramps 2019→2021Q1 ("by the time it was fully deployed (2021 Q1)");
+#: SOLAR ramps from 2020 ("deployed in our production ... since 2020").
+DEFAULT_ROLLOUT: Dict[str, Dict[str, float]] = {
+    "19Q1": {"kernel": 0.95, "luna": 0.05, "solar": 0.00},
+    "19Q2": {"kernel": 0.80, "luna": 0.20, "solar": 0.00},
+    "19Q3": {"kernel": 0.60, "luna": 0.40, "solar": 0.00},
+    "19Q4": {"kernel": 0.45, "luna": 0.55, "solar": 0.00},
+    "20Q1": {"kernel": 0.30, "luna": 0.70, "solar": 0.00},
+    "20Q2": {"kernel": 0.20, "luna": 0.78, "solar": 0.02},
+    "20Q3": {"kernel": 0.12, "luna": 0.80, "solar": 0.08},
+    "20Q4": {"kernel": 0.05, "luna": 0.80, "solar": 0.15},
+    "21Q1": {"kernel": 0.00, "luna": 0.75, "solar": 0.25},
+    "21Q2": {"kernel": 0.00, "luna": 0.65, "solar": 0.35},
+    "21Q3": {"kernel": 0.00, "luna": 0.55, "solar": 0.45},
+    "21Q4": {"kernel": 0.00, "luna": 0.45, "solar": 0.55},
+}
+
+
+@dataclass(frozen=True)
+class StackSteadyState:
+    """Per-stack steady-state metrics feeding the fleet mix."""
+
+    avg_latency_us: float
+    iops_per_server: float
+
+
+@dataclass
+class EvolutionPoint:
+    quarter: str
+    avg_latency_us: float
+    iops_per_server: float
+    latency_vs_19q1: float  # normalized as in Figure 7
+    iops_vs_21q4: float
+
+
+def fleet_evolution(
+    per_stack: Dict[str, StackSteadyState],
+    rollout: Dict[str, Dict[str, float]] = DEFAULT_ROLLOUT,
+) -> List[EvolutionPoint]:
+    """Blend per-stack measurements through the rollout schedule.
+
+    IOPS additionally carries the demand growth that lower latency
+    unlocks: guests issue deeper queues as I/O gets faster, so per-server
+    IOPS scales inversely with the blended latency (the paper attributes
+    the 220% IOPS scale-up to the network stacks).
+    """
+    missing = {s for q in rollout.values() for s in q} - set(per_stack)
+    if missing:
+        raise KeyError(f"per_stack missing stacks: {sorted(missing)}")
+    points: List[EvolutionPoint] = []
+    for quarter in QUARTERS:
+        mix = rollout[quarter]
+        total = sum(mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"rollout for {quarter} sums to {total}, expected 1")
+        latency = sum(per_stack[s].avg_latency_us * f for s, f in mix.items())
+        iops = sum(per_stack[s].iops_per_server * f for s, f in mix.items())
+        points.append(EvolutionPoint(quarter, latency, iops, 0.0, 0.0))
+    lat0 = points[0].avg_latency_us
+    iops_last = points[-1].iops_per_server
+    for p in points:
+        p.latency_vs_19q1 = p.avg_latency_us / lat0
+        p.iops_vs_21q4 = p.iops_per_server / iops_last
+    return points

@@ -1,0 +1,62 @@
+"""Virtual disk facade: the guest-visible device (§2.1)."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..agent.base import IoRequest
+from ..profiles import BLOCK_SIZE
+from .deployment import EbsDeployment, GENEROUS_QOS
+from ..storage.qos import QosSpec
+
+
+class VirtualDisk:
+    """One VD attached to one compute host of a deployment."""
+
+    def __init__(
+        self,
+        deployment: EbsDeployment,
+        vd_id: str,
+        host_name: str,
+        size_bytes: int,
+        qos: QosSpec = GENEROUS_QOS,
+        provision: bool = True,
+    ):
+        self.deployment = deployment
+        self.vd_id = vd_id
+        self.host_name = host_name
+        self.size_bytes = size_bytes
+        if provision:
+            deployment.provision_vd(vd_id, size_bytes, qos)
+        self.reads = 0
+        self.writes = 0
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size <= 0 or offset + size > self.size_bytes:
+            raise ValueError(
+                f"I/O [{offset}, {offset + size}) outside VD of {self.size_bytes}B"
+            )
+        if offset % BLOCK_SIZE:
+            raise ValueError(f"offset {offset} not {BLOCK_SIZE}-aligned")
+
+    def write(
+        self,
+        offset: int,
+        size: int,
+        on_complete: Callable[[IoRequest], None],
+        data: Optional[bytes] = None,
+    ) -> IoRequest:
+        self._check_range(offset, size)
+        self.writes += 1
+        return self.deployment.submit_io(
+            self.host_name, "write", self.vd_id, offset, size, on_complete, data=data
+        )
+
+    def read(
+        self, offset: int, size: int, on_complete: Callable[[IoRequest], None]
+    ) -> IoRequest:
+        self._check_range(offset, size)
+        self.reads += 1
+        return self.deployment.submit_io(
+            self.host_name, "read", self.vd_id, offset, size, on_complete
+        )

@@ -1,0 +1,24 @@
+"""Fault injection: FPGA bit flips, corruption-event generation, network
+failure orchestration and I/O-hang monitoring."""
+
+from .fpga_errors import (
+    BitFlipInjector,
+    CorruptionEvent,
+    CorruptionEventGenerator,
+    QuietInjector,
+    ROOT_CAUSE_WEIGHTS,
+    flip_bit,
+)
+from .injection import IncidentOutcome, IoHangMonitor, TimedFault
+
+__all__ = [
+    "BitFlipInjector",
+    "QuietInjector",
+    "flip_bit",
+    "CorruptionEvent",
+    "CorruptionEventGenerator",
+    "ROOT_CAUSE_WEIGHTS",
+    "IoHangMonitor",
+    "TimedFault",
+    "IncidentOutcome",
+]

@@ -1,0 +1,24 @@
+"""Host substrate: CPU cores, PCIe, DMA, NVMe, FPGA and the ALI-DPU."""
+
+from .cpu import CpuComplex, CpuCore
+from .dma import DmaEngine
+from .dpu import AliDpu
+from .fpga import FpgaDevice, FpgaModuleSpec, FpgaResourceError
+from .nvme import NvmeError, NvmeQueue
+from .pcie import PcieLink
+from .server import ComputeServer, StorageServer
+
+__all__ = [
+    "CpuCore",
+    "CpuComplex",
+    "PcieLink",
+    "DmaEngine",
+    "NvmeQueue",
+    "NvmeError",
+    "FpgaDevice",
+    "FpgaModuleSpec",
+    "FpgaResourceError",
+    "AliDpu",
+    "ComputeServer",
+    "StorageServer",
+]

@@ -1,0 +1,107 @@
+"""CPU core models.
+
+A :class:`CpuCore` is a serial service resource: work items are executed
+FIFO, each occupying the core for its cost.  Queueing on a saturated core
+is what turns the software SA into the latency tail of Figure 6, and the
+per-core packet budget is what Table 1's "consumed cores" column counts.
+
+:class:`CpuComplex` groups cores with either hash-pinned dispatch (LUNA's
+"lock-free and share-nothing thread arrangement", §3.2) or least-loaded
+dispatch (the kernel stack's softirq steering approximation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.events import Signal
+
+
+class CpuCore:
+    """A single core: serial FIFO execution with utilization accounting."""
+
+    def __init__(self, sim: Simulator, name: str, ghz: float = 2.1):
+        self.sim = sim
+        self.name = name
+        self.ghz = ghz
+        self.busy_until = 0
+        self.busy_ns_total = 0
+        self.jobs_run = 0
+
+    def submit(
+        self, cost_ns: int, callback: Optional[Callable[..., Any]] = None, *args: Any
+    ) -> int:
+        """Occupy the core for ``cost_ns``; fire ``callback`` at completion.
+
+        Returns the absolute completion time so callers can also sequence
+        on the result without a callback.
+        """
+        cost_ns = int(cost_ns)
+        if cost_ns < 0:
+            raise ValueError(f"negative CPU cost: {cost_ns}")
+        start = max(self.sim.now, self.busy_until)
+        done = start + cost_ns
+        self.busy_until = done
+        self.busy_ns_total += cost_ns
+        self.jobs_run += 1
+        if callback is not None:
+            self.sim.schedule_at(done, callback, *args)
+        return done
+
+    def submit_signal(self, cost_ns: int, name: str = "cpu-done") -> Signal:
+        """Like :meth:`submit` but returns a Signal processes can wait on."""
+        signal = Signal(name)
+        self.submit(cost_ns, signal.fire, None)
+        return signal
+
+    @property
+    def queue_delay_ns(self) -> int:
+        """How long a job submitted right now would wait before starting."""
+        return max(0, self.busy_until - self.sim.now)
+
+    def utilization(self, window_ns: int) -> float:
+        """Fraction of the last ``window_ns`` the core spent busy
+        (approximate: assumes work was spread over the window)."""
+        if window_ns <= 0:
+            return 0.0
+        return min(1.0, self.busy_ns_total / window_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CpuCore {self.name} qdelay={self.queue_delay_ns}ns>"
+
+
+class CpuComplex:
+    """A set of cores with pluggable dispatch."""
+
+    def __init__(self, sim: Simulator, name: str, cores: int, ghz: float = 2.1):
+        if cores < 1:
+            raise ValueError(f"need at least one core, got {cores}")
+        self.sim = sim
+        self.name = name
+        self.cores: List[CpuCore] = [
+            CpuCore(sim, f"{name}/c{i}", ghz) for i in range(cores)
+        ]
+
+    def pinned(self, key: str) -> CpuCore:
+        """Share-nothing dispatch: a stable key always lands on one core."""
+        return self.cores[hash(key) % len(self.cores)]
+
+    def least_loaded(self) -> CpuCore:
+        """Pick the core that would start new work soonest."""
+        return min(self.cores, key=lambda c: c.busy_until)
+
+    def total_busy_ns(self) -> int:
+        return sum(core.busy_ns_total for core in self.cores)
+
+    def cores_consumed(self, window_ns: int) -> float:
+        """Equivalent fully-busy cores over a window — Table 1's metric."""
+        if window_ns <= 0:
+            return 0.0
+        return self.total_busy_ns() / window_ns
+
+    def __len__(self) -> int:
+        return len(self.cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CpuComplex {self.name} x{len(self.cores)}>"

@@ -1,0 +1,61 @@
+"""ALI-DPU: the bare-metal hosting card (§4.2, Figure 9b).
+
+The DPU bundles:
+
+* a small infrastructure CPU complex (6 cores on ALI-DPU);
+* an FPGA programmable datapath;
+* an **internal** PCIe interconnect between NIC/CPU/FPGA — the scarce
+  resource ("far less than 100Gbps" against 2x25GE Ethernet) that LUNA and
+  RDMA must cross twice per datum (Figure 10a/b) but SOLAR avoids
+  (Figure 10c);
+* a **host** PCIe connection carrying DMA to/from guest memory;
+* the Ethernet ports (modelled by the server's :class:`Endpoint`).
+"""
+
+from __future__ import annotations
+
+from ..profiles import DpuProfile, PcieProfile
+from ..sim.engine import Simulator
+from .cpu import CpuComplex
+from .dma import DmaEngine
+from .fpga import FpgaDevice
+from .pcie import PcieLink
+
+
+class AliDpu:
+    """One DPU card plugged into a bare-metal compute server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        dpu_profile: DpuProfile,
+        pcie_profile: PcieProfile,
+        fpga_pipeline_ns: int = 1_000,
+    ):
+        self.sim = sim
+        self.name = name
+        self.profile = dpu_profile
+        self.cpu = CpuComplex(sim, f"{name}/cpu", dpu_profile.cpu_cores, dpu_profile.cpu_ghz)
+        self.fpga = FpgaDevice(sim, f"{name}/fpga", pipeline_latency_ns=fpga_pipeline_ns)
+        self.internal_pcie = PcieLink(
+            sim,
+            f"{name}/pcie-internal",
+            pcie_profile.dpu_internal_gbps,
+            pcie_profile.per_transfer_latency_ns,
+        )
+        self.host_pcie = PcieLink(
+            sim,
+            f"{name}/pcie-host",
+            pcie_profile.host_gbps,
+            pcie_profile.per_transfer_latency_ns,
+        )
+        self.dma = DmaEngine(sim, f"{name}/dma", self.host_pcie, pcie_profile.dma_setup_ns)
+
+    @property
+    def line_rate_gbps(self) -> float:
+        """Aggregate Ethernet capacity of the card."""
+        return self.profile.ethernet_ports * self.profile.ethernet_gbps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AliDpu {self.name} {len(self.cpu)}c {self.line_rate_gbps:.0f}G>"

@@ -1,0 +1,86 @@
+"""Server chassis models.
+
+A server is an :class:`Endpoint` (its NIC ports, wired by the topology)
+plus compute resources.  Two hosting modes exist for compute servers
+(§4.1, Figure 9):
+
+* ``"vm"`` — the hypervisor (including the SA) runs on the host CPU;
+* ``"bare_metal"`` — the guest owns the host entirely; all infrastructure,
+  including the SA, lives on the plugged-in ALI-DPU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..profiles import Profiles
+from ..sim.engine import Simulator
+from ..net.endpoint import Endpoint
+from .cpu import CpuComplex
+from .dpu import AliDpu
+from .nvme import NvmeQueue
+
+HOSTING_MODES = ("vm", "bare_metal")
+
+
+class ComputeServer:
+    """A compute server hosting guest workloads that issue EBS I/O."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: Endpoint,
+        profiles: Profiles,
+        hosting: str = "vm",
+        host_cores: int = 16,
+    ):
+        if hosting not in HOSTING_MODES:
+            raise ValueError(f"hosting must be one of {HOSTING_MODES}, got {hosting!r}")
+        self.sim = sim
+        self.endpoint = endpoint
+        self.profiles = profiles
+        self.hosting = hosting
+        self.name = endpoint.name
+        self.host_cpu = CpuComplex(sim, f"{self.name}/host-cpu", host_cores)
+        self.dpu: Optional[AliDpu] = None
+        if hosting == "bare_metal":
+            self.dpu = AliDpu(
+                sim,
+                f"{self.name}/dpu",
+                profiles.dpu,
+                profiles.pcie,
+                fpga_pipeline_ns=profiles.solar.fpga_pipeline_ns,
+            )
+        self.nvme = NvmeQueue(sim, f"{self.name}/nvme")
+
+    @property
+    def infra_cpu(self) -> CpuComplex:
+        """The CPU complex that infrastructure code (stack + SA) runs on."""
+        if self.dpu is not None:
+            return self.dpu.cpu
+        return self.host_cpu
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ComputeServer {self.name} hosting={self.hosting}>"
+
+
+class StorageServer:
+    """A storage-cluster server (block server or chunk server chassis)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: Endpoint,
+        role: str,
+        cores: int = 32,
+    ):
+        if role not in ("block", "chunk"):
+            raise ValueError(f"role must be 'block' or 'chunk', got {role!r}")
+        self.sim = sim
+        self.endpoint = endpoint
+        self.role = role
+        self.name = endpoint.name
+        self.cpu = CpuComplex(sim, f"{self.name}/cpu", cores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StorageServer {self.name} role={self.role}>"

@@ -1,0 +1,70 @@
+"""Result export: CSV/JSON serialization of collectors and series, so
+experiment outputs can be plotted or diffed outside the simulator."""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import List, Mapping, Optional, TextIO
+
+from .series import TimeSeries
+from .stats import LatencyStats
+from .trace import COMPONENTS, TraceCollector
+
+
+def traces_to_csv(collector: TraceCollector, fp: TextIO,
+                  ok_only: bool = True) -> int:
+    """One row per completed I/O: identity, totals, component breakdown."""
+    writer = csv.writer(fp)
+    writer.writerow(
+        ["io_id", "kind", "size_bytes", "submit_ns", "total_ns", "ok", "error"]
+        + [f"{c}_ns" for c in COMPONENTS]
+    )
+    count = 0
+    for trace in collector.completed(ok_only=ok_only):
+        writer.writerow(
+            [trace.io_id, trace.kind, trace.size_bytes, trace.submit_ns,
+             trace.total_ns, trace.ok, trace.error]
+            + [trace.components[c] for c in COMPONENTS]
+        )
+        count += 1
+    return count
+
+
+def latency_to_json(stats: Mapping[str, LatencyStats], fp: TextIO,
+                    percentiles: Optional[List[float]] = None) -> None:
+    """Summaries of several LatencyStats, keyed by label."""
+    percentiles = percentiles or [50, 95, 99]
+    payload = {}
+    for label, s in stats.items():
+        entry = dict(s.summary_us())
+        for p in percentiles:
+            entry[f"p{p:g}_us"] = round(s.p(p) / 1000, 2)
+        payload[label] = entry
+    json.dump(payload, fp, indent=2, sort_keys=True)
+    fp.write("\n")
+
+
+def series_to_csv(series: TimeSeries, fp: TextIO, as_rate: bool = False) -> int:
+    """Bucketed time series as (t_ns, value) rows."""
+    writer = csv.writer(fp)
+    writer.writerow(["t_ns", "rate_per_s" if as_rate else "total"])
+    rows = series.rates_per_second() if as_rate else series.buckets()
+    for t_ns, value in rows:
+        writer.writerow([t_ns, value])
+    return len(rows)
+
+
+def breakdown_to_json(collector: TraceCollector, fp: TextIO,
+                      percentiles: Optional[List[float]] = None) -> None:
+    """Figure 6-shaped data: per-kind, per-percentile component breakdowns."""
+    percentiles = percentiles or [50, 95]
+    payload: dict = {}
+    for kind in ("read", "write"):
+        if not collector.completed(kind):
+            continue
+        payload[kind] = {
+            f"p{p:g}": collector.breakdown_us(p, kind) for p in percentiles
+        }
+    json.dump(payload, fp, indent=2, sort_keys=True)
+    fp.write("\n")

@@ -1,0 +1,71 @@
+"""Plain-text reporting: the stacked component bars of Figure 6, rendered
+as ASCII so benches and examples can show breakdowns without plotting
+dependencies."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from .trace import COMPONENTS, TraceCollector
+
+#: One glyph per component, in the paper's stacking order.
+COMPONENT_GLYPHS = {"fn": "#", "bn": "=", "ssd": "o", "sa": "+"}
+
+
+def render_bar(
+    breakdown_us: Mapping[str, float],
+    scale_us_per_char: float,
+    label: str = "",
+    width_label: int = 12,
+) -> str:
+    """Render one stacked latency bar, e.g. ``luna  ####==oo++  83.4us``."""
+    if scale_us_per_char <= 0:
+        raise ValueError(f"non-positive scale: {scale_us_per_char}")
+    segments = []
+    total = 0.0
+    for component in ("fn", "bn", "ssd", "sa"):
+        value = float(breakdown_us.get(component, 0.0))
+        total += value
+        segments.append(COMPONENT_GLYPHS[component] * round(value / scale_us_per_char))
+    bar = "".join(segments)
+    return f"{label:<{width_label}s} {bar} {total:.1f}us"
+
+
+def render_breakdown_chart(
+    rows: Sequence[tuple],
+    title: str = "",
+    width: int = 60,
+) -> str:
+    """Render a set of (label, breakdown_us) rows on a shared scale.
+
+    Returns a Figure 6-style block::
+
+        4KB Write (median)   [#=FN ==BN oo=SSD ++=SA]
+        kernel  ############################====o+++  192.7us
+        luna    ####==oo+++                            83.4us
+    """
+    if not rows:
+        raise ValueError("no rows to render")
+    totals = [sum(b.get(c, 0.0) for c in COMPONENTS) for _l, b in rows]
+    scale = max(totals) / max(1, width)
+    scale = max(scale, 1e-9)
+    legend = "  ".join(f"{g}={c.upper()}" for c, g in COMPONENT_GLYPHS.items())
+    lines = [f"{title}   [{legend}]"] if title else [f"[{legend}]"]
+    label_width = max(len(label) for label, _b in rows) + 2
+    for label, breakdown in rows:
+        lines.append(render_bar(breakdown, scale, label, label_width))
+    return "\n".join(lines) + "\n"
+
+
+def collector_chart(
+    collectors: Mapping[str, TraceCollector],
+    kind: str,
+    pct: float,
+    title: str = "",
+) -> str:
+    """Chart one percentile across several deployments' collectors."""
+    rows = [
+        (name, collector.breakdown_us(pct, kind))
+        for name, collector in collectors.items()
+    ]
+    return render_breakdown_chart(rows, title=title or f"{kind} p{pct:.0f}")

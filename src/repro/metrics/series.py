@@ -1,0 +1,39 @@
+"""Time-series bucketing for rate plots (Figures 3, 4, 7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class TimeSeries:
+    """Accumulates (time, amount) samples into fixed-width buckets."""
+
+    name: str
+    bucket_ns: int
+    _buckets: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.bucket_ns <= 0:
+            raise ValueError(f"bucket width must be positive: {self.bucket_ns}")
+
+    def add(self, time_ns: int, amount: float = 1.0) -> None:
+        self._buckets[time_ns // self.bucket_ns] = (
+            self._buckets.get(time_ns // self.bucket_ns, 0.0) + amount
+        )
+
+    def buckets(self) -> List[tuple[int, float]]:
+        """Sorted (bucket_start_ns, total) pairs."""
+        return [(idx * self.bucket_ns, total) for idx, total in sorted(self._buckets.items())]
+
+    def rates_per_second(self) -> List[tuple[int, float]]:
+        """Sorted (bucket_start_ns, amount_per_second) pairs."""
+        scale = 1e9 / self.bucket_ns
+        return [(start, total * scale) for start, total in self.buckets()]
+
+    def total(self) -> float:
+        return sum(self._buckets.values())
+
+    def __len__(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,94 @@
+"""Latency statistics: streaming collection, percentiles, summaries."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+
+def percentile(sorted_values: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile of an already-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile out of range: {p}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    rank = (p / 100.0) * (len(sorted_values) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi or sorted_values[lo] == sorted_values[hi]:
+        return float(sorted_values[lo])
+    frac = rank - lo
+    return float(sorted_values[lo]) * (1 - frac) + float(sorted_values[hi]) * frac
+
+
+@dataclass
+class LatencyStats:
+    """Accumulates samples (ns) and reports summary statistics."""
+
+    name: str = ""
+    samples: List[int] = field(default_factory=list)
+
+    def record(self, value_ns: int) -> None:
+        if value_ns < 0:
+            raise ValueError(f"negative latency sample: {value_ns}")
+        self.samples.append(value_ns)
+
+    def extend(self, values: Iterable[int]) -> None:
+        for value in values:
+            self.record(value)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError(f"no samples in {self.name!r}")
+        return sum(self.samples) / len(self.samples)
+
+    def p(self, pct: float) -> float:
+        return percentile(sorted(self.samples), pct)
+
+    def median(self) -> float:
+        return self.p(50)
+
+    def summary_us(self) -> Dict[str, float]:
+        """Summary in microseconds — the unit the paper's figures use."""
+        ordered = sorted(self.samples)
+        return {
+            "count": len(ordered),
+            "mean_us": round(sum(ordered) / len(ordered) / 1_000, 2),
+            "p50_us": round(percentile(ordered, 50) / 1_000, 2),
+            "p95_us": round(percentile(ordered, 95) / 1_000, 2),
+            "p99_us": round(percentile(ordered, 99) / 1_000, 2),
+            "max_us": round(ordered[-1] / 1_000, 2),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.samples:
+            return f"<LatencyStats {self.name!r} empty>"
+        return f"<LatencyStats {self.name!r} {self.summary_us()}>"
+
+
+@dataclass
+class Counter:
+    """A named monotonic counter with helpers for rate reporting."""
+
+    name: str
+    value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def per_second(self, duration_ns: int) -> float:
+        if duration_ns <= 0:
+            return 0.0
+        return self.value / (duration_ns / 1e9)

@@ -1,0 +1,111 @@
+"""Distributed I/O tracing — the instrument behind Figure 6.
+
+The paper monitors each I/O with a distributed trace and attributes its
+end-to-end latency to four components: **SA** (storage agent processing on
+both issue and completion), **FN** (frontend network, both directions),
+**BN** (backend network RPCs inside the storage cluster), and **SSD**
+(chunk-server processing plus the physical device).
+
+An :class:`IoTrace` rides along with one I/O.  Stages stamp absolute marks
+(:meth:`mark`) and add component durations (:meth:`add`); the final
+breakdown is reconstructed from the critical-path RPC's marks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+COMPONENTS = ("sa", "fn", "bn", "ssd")
+
+
+@dataclass
+class IoTrace:
+    """Trace of a single I/O operation."""
+
+    io_id: int
+    kind: str  # "read" | "write"
+    size_bytes: int
+    submit_ns: int
+    marks: Dict[str, int] = field(default_factory=dict)
+    components: Dict[str, int] = field(default_factory=lambda: dict.fromkeys(COMPONENTS, 0))
+    complete_ns: Optional[int] = None
+    ok: bool = True
+    error: str = ""
+
+    def mark(self, name: str, now_ns: int) -> None:
+        """Stamp an absolute timestamp (later stamps overwrite: the trace
+        keeps the critical path, i.e. the last RPC to pass each stage)."""
+        self.marks[name] = now_ns
+
+    def add(self, component: str, duration_ns: int) -> None:
+        if component not in self.components:
+            raise KeyError(f"unknown trace component {component!r}")
+        if duration_ns < 0:
+            raise ValueError(f"negative duration for {component!r}: {duration_ns}")
+        self.components[component] += duration_ns
+
+    def complete(self, now_ns: int, ok: bool = True, error: str = "") -> None:
+        self.complete_ns = now_ns
+        self.ok = ok
+        self.error = error
+
+    @property
+    def total_ns(self) -> int:
+        if self.complete_ns is None:
+            raise ValueError(f"I/O {self.io_id} not complete")
+        return self.complete_ns - self.submit_ns
+
+    def breakdown_us(self) -> Dict[str, float]:
+        return {k: round(v / 1_000, 2) for k, v in self.components.items()}
+
+    def unattributed_ns(self) -> int:
+        """Latency not attributed to any component (should stay small)."""
+        return self.total_ns - sum(self.components.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending" if self.complete_ns is None else f"{self.total_ns / 1000:.1f}us"
+        return f"<IoTrace #{self.io_id} {self.kind} {self.size_bytes}B {state}>"
+
+
+@dataclass
+class TraceCollector:
+    """Aggregates completed traces into per-component latency statistics."""
+
+    traces: List[IoTrace] = field(default_factory=list)
+
+    def record(self, trace: IoTrace) -> None:
+        if trace.complete_ns is None:
+            raise ValueError("cannot record an incomplete trace")
+        self.traces.append(trace)
+
+    def completed(self, kind: Optional[str] = None, ok_only: bool = True) -> List[IoTrace]:
+        return [
+            t
+            for t in self.traces
+            if (kind is None or t.kind == kind) and (t.ok or not ok_only)
+        ]
+
+    def component_percentile(self, component: str, pct: float, kind: Optional[str] = None) -> float:
+        """Percentile (ns) of one component across completed traces."""
+        from .stats import percentile
+
+        values = sorted(t.components[component] for t in self.completed(kind))
+        if not values:
+            raise ValueError(f"no completed traces for kind={kind!r}")
+        return percentile(values, pct)
+
+    def total_percentile(self, pct: float, kind: Optional[str] = None) -> float:
+        from .stats import percentile
+
+        values = sorted(t.total_ns for t in self.completed(kind))
+        if not values:
+            raise ValueError(f"no completed traces for kind={kind!r}")
+        return percentile(values, pct)
+
+    def breakdown_us(self, pct: float, kind: Optional[str] = None) -> Dict[str, float]:
+        """Per-component percentile breakdown in us — one Figure 6 bar."""
+        return {
+            c: round(self.component_percentile(c, pct, kind) / 1_000, 2)
+            for c in COMPONENTS
+        }

@@ -1,0 +1,134 @@
+"""Packet capture: tcpdump for the simulated fabric.
+
+A :class:`PacketCapture` taps endpoints (RX side) and records structured
+events with timestamps, so protocol behaviour can be inspected and
+asserted the way one would read a pcap: filter by flow/proto/port, count
+retransmissions, dump a human-readable trace.
+
+Captures are pure observers — they never mutate or delay packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..sim.engine import Simulator
+from .endpoint import Endpoint
+from .packet import Packet
+
+
+@dataclass(frozen=True)
+class CaptureRecord:
+    """One observed packet delivery."""
+
+    t_ns: int
+    at: str  # endpoint name where observed
+    src: str
+    dst: str
+    sport: int
+    dport: int
+    proto: str
+    size_bytes: int
+    pkt_id: int
+    layers: tuple  # header layer names present
+
+    def __str__(self) -> str:
+        return (f"{self.t_ns / 1000:12.3f}us  {self.at:14s} "
+                f"{self.src}:{self.sport} > {self.dst}:{self.dport} "
+                f"{self.proto} len={self.size_bytes} [{','.join(self.layers)}]")
+
+
+class PacketCapture:
+    """Records every packet delivered to the tapped endpoints."""
+
+    def __init__(self, sim: Simulator, max_records: int = 1_000_000):
+        if max_records < 1:
+            raise ValueError("capture needs room for at least one record")
+        self.sim = sim
+        self.max_records = max_records
+        self.records: List[CaptureRecord] = []
+        self.truncated = False
+        self._taps = 0
+
+    # ------------------------------------------------------------------
+    def tap(self, endpoint: Endpoint) -> None:
+        """Attach to an endpoint's receive path (all protocols)."""
+        self._taps += 1
+        original_receive = endpoint.receive
+
+        def tapped(packet: Packet, ingress) -> None:
+            self._record(endpoint.name, packet)
+            original_receive(packet, ingress)
+
+        endpoint.receive = tapped  # type: ignore[method-assign]
+
+    def _record(self, at: str, packet: Packet) -> None:
+        if len(self.records) >= self.max_records:
+            self.truncated = True
+            return
+        self.records.append(
+            CaptureRecord(
+                self.sim.now, at, packet.src, packet.dst, packet.sport,
+                packet.dport, packet.proto, packet.size_bytes, packet.pkt_id,
+                tuple(sorted(packet.headers)),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        proto: Optional[str] = None,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        sport: Optional[int] = None,
+        dport: Optional[int] = None,
+        predicate: Optional[Callable[[CaptureRecord], bool]] = None,
+    ) -> List[CaptureRecord]:
+        """Subset of records matching every given criterion."""
+        out = []
+        for record in self.records:
+            if proto is not None and record.proto != proto:
+                continue
+            if src is not None and record.src != src:
+                continue
+            if dst is not None and record.dst != dst:
+                continue
+            if sport is not None and record.sport != sport:
+                continue
+            if dport is not None and record.dport != dport:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def flows(self) -> dict:
+        """Per-flow packet and byte counts."""
+        stats: dict = {}
+        for record in self.records:
+            key = (record.src, record.dst, record.sport, record.dport, record.proto)
+            packets, size = stats.get(key, (0, 0))
+            stats[key] = (packets + 1, size + record.size_bytes)
+        return stats
+
+    def duplicates(self) -> List[int]:
+        """pkt_ids seen more than once (a packet delivered at 2+ taps, or
+        genuinely retransmitted objects share ids only if re-sent whole)."""
+        seen: dict = {}
+        for record in self.records:
+            seen[record.pkt_id] = seen.get(record.pkt_id, 0) + 1
+        return sorted(pid for pid, count in seen.items() if count > 1)
+
+    def dump(self, limit: int = 50) -> str:
+        lines = [str(r) for r in self.records[:limit]]
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more")
+        if self.truncated:
+            lines.append("[capture truncated at max_records]")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,174 @@
+"""Named network-failure scenarios.
+
+These are the failure injections behind Table 2 ("Number of I/Os with no
+response in one second or longer under failure scenarios") and Figure 8
+(I/O hangs by failure location).  Each scenario targets a topology, can be
+applied and reverted, and reports what it touched so experiments can log
+their blast radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..sim.events import MS, SECOND
+from .topology import ClosTopology
+
+
+@dataclass
+class FailureScenario:
+    """A revertible failure injection against one topology."""
+
+    name: str
+    apply_fn: Callable[[ClosTopology], List[str]]
+    revert_fn: Callable[[ClosTopology], None]
+    touched: List[str] = field(default_factory=list)
+    applied: bool = False
+
+    def apply(self, topology: ClosTopology) -> List[str]:
+        if self.applied:
+            raise RuntimeError(f"scenario {self.name!r} already applied")
+        self.touched = self.apply_fn(topology)
+        self.applied = True
+        return self.touched
+
+    def revert(self, topology: ClosTopology) -> None:
+        if not self.applied:
+            return
+        self.revert_fn(topology)
+        self.applied = False
+
+
+def _pick_switch(topology: ClosTopology, tier: str, index: int):
+    switches = topology.switches_by_tier(tier)
+    if not switches:
+        raise ValueError(f"topology has no {tier!r} switches")
+    return switches[index % len(switches)]
+
+
+def tor_port_failure(host_name: str, port_index: int = 0) -> FailureScenario:
+    """One host NIC↔ToR cable dies.  Dual homing should absorb this
+    completely for every stack (Table 2 row 1: both LUNA and SOLAR at 0)."""
+    state: dict = {}
+
+    def apply_fn(topology: ClosTopology) -> List[str]:
+        host = topology.hosts[host_name]
+        channel = host.uplinks[port_index % len(host.uplinks)]
+        state["channel"] = channel
+        # Take both directions of the cable down.
+        for link in topology.links:
+            if channel in (link.ab, link.ba):
+                state["link"] = link
+                link.set_up(False)
+                return [link.ab.name, link.ba.name]
+        raise RuntimeError("uplink channel not found among topology links")
+
+    def revert_fn(_topology: ClosTopology) -> None:
+        state["link"].set_up(True)
+
+    return FailureScenario(f"tor-port-failure({host_name})", apply_fn, revert_fn)
+
+
+def switch_failure(tier: str, index: int = 0, link_down: bool = False) -> FailureScenario:
+    """Fail-stop of a whole switch at the given tier.
+
+    ``link_down=True`` models a crash that drops the switch's links:
+    neighbors detect loss-of-light and ECMP excludes it within the
+    forwarding plane ("'fail-stop' failures on a device or port can be
+    quickly converged via ECMP routing", §4.7).  ``link_down=False``
+    models the nastier data-plane death with PHYs still up: peers keep
+    hashing traffic into the corpse until transport-level timers react —
+    which is what hung LUNA in Table 2's ToR-failure row.
+    """
+    state: dict = {}
+
+    def apply_fn(topology: ClosTopology) -> List[str]:
+        switch = _pick_switch(topology, tier, index)
+        state["switch"] = switch
+        switch.set_up(False)
+        touched = [switch.name]
+        if link_down:
+            links = [
+                link for link in topology.links
+                if switch in (link.a, link.b)
+            ]
+            state["links"] = links
+            for link in links:
+                link.set_up(False)
+                touched.append(link.ab.name)
+        return touched
+
+    def revert_fn(_topology: ClosTopology) -> None:
+        state["switch"].set_up(True)
+        for link in state.get("links", []):
+            link.set_up(True)
+
+    return FailureScenario(f"{tier}-switch-failure[{index}]", apply_fn, revert_fn)
+
+
+def switch_reboot(tier: str, downtime_ns: int = 90 * SECOND, index: int = 0) -> FailureScenario:
+    """Switch reboot / maintenance isolation (Table 2 row 5)."""
+    state: dict = {}
+
+    def apply_fn(topology: ClosTopology) -> List[str]:
+        switch = _pick_switch(topology, tier, index)
+        state["switch"] = switch
+        switch.reboot(downtime_ns)
+        return [switch.name]
+
+    def revert_fn(_topology: ClosTopology) -> None:
+        state["switch"].set_up(True)
+
+    return FailureScenario(f"{tier}-reboot[{index}]", apply_fn, revert_fn)
+
+
+def switch_blackhole(tier: str, fraction: float = 0.25, index: int = 0,
+                     salt: str = "incident") -> FailureScenario:
+    """Silent per-flow blackhole — the scenario that hung LUNA for minutes
+    in the §3.3 core-switch line-card incident."""
+    state: dict = {}
+
+    def apply_fn(topology: ClosTopology) -> List[str]:
+        switch = _pick_switch(topology, tier, index)
+        state["switch"] = switch
+        switch.set_blackhole(fraction, salt)
+        return [switch.name]
+
+    def revert_fn(_topology: ClosTopology) -> None:
+        state["switch"].set_blackhole(0.0)
+
+    return FailureScenario(
+        f"{tier}-blackhole[{index}]@{fraction:.0%}", apply_fn, revert_fn
+    )
+
+
+def random_drop(tier: str, rate: float = 0.75, index: int = 0) -> FailureScenario:
+    """Uniform random packet drops (Table 2: 'Packet drop rate=75%')."""
+    state: dict = {}
+
+    def apply_fn(topology: ClosTopology) -> List[str]:
+        switch = _pick_switch(topology, tier, index)
+        state["switch"] = switch
+        switch.set_drop_rate(rate)
+        return [switch.name]
+
+    def revert_fn(_topology: ClosTopology) -> None:
+        state["switch"].set_drop_rate(0.0)
+
+    return FailureScenario(f"{tier}-drop@{rate:.0%}[{index}]", apply_fn, revert_fn)
+
+
+def table2_scenarios(sample_host: str) -> List[FailureScenario]:
+    """The seven failure scenarios of Table 2, in the paper's row order."""
+    return [
+        tor_port_failure(sample_host),
+        # ToR death with host-facing PHYs still up (the LUNA-hanging case).
+        switch_failure("tor"),
+        # Spine crash with links down: ECMP converges, nobody hangs.
+        switch_failure("spine", link_down=True),
+        random_drop("tor", 0.75),
+        switch_reboot("tor", downtime_ns=60 * SECOND),
+        switch_blackhole("tor", 0.5),
+        switch_blackhole("spine", 0.5),
+    ]

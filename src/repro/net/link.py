@@ -1,0 +1,169 @@
+"""Point-to-point links.
+
+A :class:`Link` is a full-duplex cable built from two independent
+:class:`Channel` directions.  Each channel models:
+
+* store-and-forward serialization at the configured line rate;
+* fixed propagation delay;
+* a drop-tail egress queue (the *sender's* output buffer) that fills when
+  the line is busy.
+
+Receivers are any object with ``receive(packet, ingress)`` where ``ingress``
+is the channel the packet arrived on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..profiles import bytes_time_ns
+from ..sim.engine import Simulator
+from .packet import Packet
+from .queue import DropTailQueue
+
+
+class Receiver(Protocol):
+    name: str
+
+    def receive(self, packet: Packet, ingress: "Channel") -> None: ...
+
+
+class Channel:
+    """One direction of a link: sender-side queue + wire."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        src: "Receiver",
+        dst: "Receiver",
+        gbps: float,
+        propagation_ns: int,
+        queue_capacity_bytes: int,
+        priority: bool = False,
+    ):
+        self.sim = sim
+        self.name = name
+        self.src = src
+        self.dst = dst
+        self.gbps = gbps
+        self.propagation_ns = propagation_ns
+        if priority:
+            from .queue import PriorityQueue
+
+            self.queue = PriorityQueue(queue_capacity_bytes, name=f"{name}.q")
+        else:
+            self.queue = DropTailQueue(queue_capacity_bytes, name=f"{name}.q")
+        self.up = True
+        self._transmitting = False
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        #: tx_bytes at the previous INT stamp, for utilization hints.
+        self.tx_bytes_window_start = 0
+        self.window_start_ns = 0
+
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> bool:
+        """Queue a packet for transmission.  Returns False if dropped.
+
+        A downed channel silently drops (fail-stop port/cable failure);
+        the sender has no signal other than missing ACKs, matching how a
+        real fabric fails (§3.3).
+        """
+        if not self.up:
+            return False
+        if not self.queue.offer(packet):
+            return False
+        if not self._transmitting:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        packet = self.queue.poll()
+        if packet is None:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        wire_ns = bytes_time_ns(packet.size_bytes, self.gbps)
+        self.sim.schedule(wire_ns, self._finish_serialize, packet)
+
+    def _finish_serialize(self, packet: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += packet.size_bytes
+        if self.up:
+            self.sim.schedule(self.propagation_ns, self._deliver, packet)
+        self._start_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        if self.up:
+            self.dst.receive(packet, self)
+
+    # ------------------------------------------------------------------
+    def set_up(self, up: bool) -> None:
+        """Administratively enable/disable the channel.
+
+        Going down flushes the queue (those frames are lost, as on a real
+        port failure).
+        """
+        if self.up and not up:
+            self.queue.clear()
+        self.up = up
+
+    def queue_delay_estimate_ns(self) -> int:
+        """Serialization time of everything currently queued."""
+        return bytes_time_ns(self.queue.bytes, self.gbps)
+
+    def take_tx_window(self, now_ns: int) -> tuple[int, int]:
+        """Return (bytes, window_ns) transmitted since the previous call."""
+        delta = self.tx_bytes - self.tx_bytes_window_start
+        window = now_ns - self.window_start_ns
+        self.tx_bytes_window_start = self.tx_bytes
+        self.window_start_ns = now_ns
+        return delta, window
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "DOWN"
+        return f"<Channel {self.name} {self.gbps}G {state}>"
+
+
+class Link:
+    """Full-duplex link: two mirrored channels."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        a: "Receiver",
+        b: "Receiver",
+        gbps: float,
+        propagation_ns: int,
+        queue_capacity_bytes: int,
+        priority: bool = False,
+    ):
+        self.a = a
+        self.b = b
+        self.ab = Channel(
+            sim, f"{a.name}->{b.name}", a, b, gbps, propagation_ns,
+            queue_capacity_bytes, priority,
+        )
+        self.ba = Channel(
+            sim, f"{b.name}->{a.name}", b, a, gbps, propagation_ns,
+            queue_capacity_bytes, priority,
+        )
+
+    def channel_from(self, node: "Receiver") -> Channel:
+        if node is self.a:
+            return self.ab
+        if node is self.b:
+            return self.ba
+        raise ValueError(f"{node.name} is not an endpoint of this link")
+
+    def other(self, node: "Receiver") -> "Receiver":
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"{node.name} is not an endpoint of this link")
+
+    def set_up(self, up: bool) -> None:
+        self.ab.set_up(up)
+        self.ba.set_up(up)

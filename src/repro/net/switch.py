@@ -1,0 +1,153 @@
+"""Store-and-forward switch model with ECMP, INT, and failure modes.
+
+Failure modes (the Table 2 / Figure 8 scenarios):
+
+* **fail-stop** (``set_up(False)``): the whole switch drops everything —
+  routing around it happens naturally because neighbors' ECMP candidate
+  sets exclude downed channels once the failure detector marks them;
+* **port failure**: an individual channel goes down (handled by
+  :class:`repro.net.link.Channel`);
+* **blackhole**: the switch silently drops a *subset* of flows chosen by
+  consistent hash — the paper's hardest case ("the traffic blackhole on a
+  subset of traffic is hard to detect and mitigate via network
+  operations", §4.7);
+* **reboot**: fail-stop for a duration, then recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..profiles import NetworkProfile
+from ..sim.engine import Simulator
+from .ecmp import flow_hash, pick
+from .link import Channel
+from .packet import IntRecord, Packet
+
+
+class Switch:
+    """A single switch; forwarding policy is delegated to the topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        tier: str,
+        profile: NetworkProfile,
+        next_hops: Optional[Callable[["Switch", Packet], List[str]]] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.tier = tier
+        self.profile = profile
+        #: neighbor name -> egress channel toward that neighbor.
+        self.ports: Dict[str, Channel] = {}
+        self._next_hops = next_hops
+        self.up = True
+        self.blackhole_fraction = 0.0
+        self.blackhole_salt = ""
+        self.drop_rate = 0.0
+        self._drop_rng = sim.rng.stream(f"switch/{name}/drop")
+        self.rx_packets = 0
+        self.forwarded = 0
+        self.dropped_no_route = 0
+        self.dropped_blackhole = 0
+        self.dropped_down = 0
+        self.dropped_ttl = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect(self, neighbor_name: str, egress: Channel) -> None:
+        self.ports[neighbor_name] = egress
+
+    def set_route_fn(self, fn: Callable[["Switch", Packet], List[str]]) -> None:
+        self._next_hops = fn
+
+    # ------------------------------------------------------------------
+    # Failure controls
+    # ------------------------------------------------------------------
+    def set_up(self, up: bool) -> None:
+        self.up = up
+
+    def set_blackhole(self, fraction: float, salt: str = "bh") -> None:
+        """Silently drop ``fraction`` of flows (consistent per flow)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"blackhole fraction out of range: {fraction}")
+        self.blackhole_fraction = fraction
+        self.blackhole_salt = salt
+
+    def set_drop_rate(self, rate: float) -> None:
+        """Drop packets uniformly at random (Table 2's 'packet drop rate'
+        scenario — e.g. a failing line card corrupting frames)."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"drop rate out of range: {rate}")
+        self.drop_rate = rate
+
+    def reboot(self, downtime_ns: int) -> None:
+        """Fail-stop now, come back after ``downtime_ns``."""
+        self.set_up(False)
+        self.sim.schedule(downtime_ns, self.set_up, True)
+
+    def _blackholes(self, packet: Packet) -> bool:
+        if self.blackhole_fraction <= 0.0:
+            return False
+        h = flow_hash(packet.flow, f"{self.name}|{self.blackhole_salt}")
+        return (h / 0xFFFFFFFF) < self.blackhole_fraction
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, ingress: Channel) -> None:
+        self.rx_packets += 1
+        if not self.up:
+            self.dropped_down += 1
+            return
+        if self._blackholes(packet):
+            self.dropped_blackhole += 1
+            return
+        if self.drop_rate > 0.0 and self._drop_rng.random() < self.drop_rate:
+            self.dropped_blackhole += 1
+            return
+        if packet.ttl <= 0:
+            self.dropped_ttl += 1
+            return
+        packet.ttl -= 1
+        self.sim.schedule(self.profile.switch_forward_ns, self._forward, packet)
+
+    def _forward(self, packet: Packet) -> None:
+        if not self.up:
+            self.dropped_down += 1
+            return
+        if self._next_hops is None:
+            raise RuntimeError(f"switch {self.name} has no routing function")
+        candidates = [
+            name
+            for name in self._next_hops(self, packet)
+            if name in self.ports and self.ports[name].up
+        ]
+        if not candidates:
+            self.dropped_no_route += 1
+            return
+        egress = self.ports[pick(packet.flow, candidates, salt=self.name)]
+        self._stamp_int(packet, egress)
+        self.forwarded += 1
+        egress.send(packet)
+
+    def _stamp_int(self, packet: Packet, egress: Channel) -> None:
+        """Append an HPCC-style telemetry record (§4.8 per-packet INT)."""
+        packet.int_records.append(
+            IntRecord(
+                switch=self.name,
+                timestamp_ns=self.sim.now,
+                queue_bytes=egress.queue.bytes,
+                tx_bytes=egress.tx_bytes,
+                link_gbps=egress.gbps,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "DOWN"
+        if self.blackhole_fraction:
+            state += f" blackhole={self.blackhole_fraction:.0%}"
+        return f"<Switch {self.name} ({self.tier}) {state}>"

@@ -1,0 +1,144 @@
+"""The discrete-event simulation engine.
+
+A :class:`Simulator` owns the virtual clock and the event heap.  Everything
+in the reproduction — links, switches, CPUs, SSDs, protocol stacks — is
+driven by callbacks scheduled on a single simulator instance, so a whole
+EBS deployment runs deterministically from one seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from .events import Event, format_ns
+from .rng import RngRegistry
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator usage (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with an integer-ns clock.
+
+    Typical usage::
+
+        sim = Simulator(seed=42)
+        sim.schedule(1000, lambda: print("one microsecond in"))
+        sim.run()
+
+    The simulator also hosts a registry of named deterministic RNG streams
+    (see :class:`repro.sim.rng.RngRegistry`) so that components draw
+    randomness from independent, reproducible streams.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: int = 0
+        self.seed = seed
+        self.rng = RngRegistry(seed)
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay_ns`` after the current time."""
+        delay_ns = int(delay_ns)
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
+        return self.schedule_at(self.now + delay_ns, fn, *args)
+
+    def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulation time."""
+        time_ns = int(time_ns)
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at {format_ns(time_ns)}; now is {format_ns(self.now)}"
+            )
+        event = Event(time_ns, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current instant (after pending events)."""
+        return self.schedule(0, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next pending event.  Returns False when drained."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now:  # pragma: no cover - defensive
+                raise SimulationError("event heap yielded an event from the past")
+            self.now = event.time
+            self.events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        ``until`` is an absolute time; the clock is advanced to ``until``
+        even if the last event fires earlier (matching how a wall-clock
+        experiment of fixed duration behaves).  Returns the number of
+        events processed by this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        self._stopped = False
+        processed = 0
+        try:
+            while self._heap and not self._stopped:
+                if until is not None and self._heap[0].time > until:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                if self.step():
+                    processed += 1
+        finally:
+            self._running = False
+        if until is not None and not self._stopped and self.now < until:
+            self.now = until
+        return processed
+
+    def run_for(self, duration_ns: int, **kwargs: Any) -> int:
+        """Run for a relative duration from the current time."""
+        return self.run(until=self.now + int(duration_ns), **kwargs)
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still in the heap."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def peek_time(self) -> Optional[int]:
+        """Absolute time of the next pending event, or None if drained."""
+        for event in sorted(self._heap):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator now={format_ns(self.now)} pending={self.pending_events} "
+            f"processed={self.events_processed}>"
+        )

@@ -1,0 +1,140 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The simulator's clock is an integer count of nanoseconds.  Integer time
+makes event ordering exact and reproducible: two events scheduled for the
+same instant are delivered in the order they were scheduled (FIFO tie
+breaking via a monotonically increasing sequence number), and no
+floating-point accumulation error can reorder them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional
+
+#: Convenience time constants (all in integer nanoseconds).
+NS = 1
+US = 1_000
+MS = 1_000_000
+SECOND = 1_000_000_000
+
+
+def ns_from_seconds(seconds: float) -> int:
+    """Convert a float second count to integer nanoseconds (rounded)."""
+    return int(round(seconds * SECOND))
+
+
+def seconds_from_ns(ns: int) -> float:
+    """Convert integer nanoseconds to float seconds."""
+    return ns / SECOND
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created by :meth:`repro.sim.engine.Simulator.schedule` and
+    should not be instantiated directly.  An event may be cancelled before
+    it fires; cancelled events stay in the heap but are skipped when popped
+    (lazy deletion), which keeps cancellation O(1).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Event t={self.time}ns {name} {state}>"
+
+
+class Signal:
+    """A one-shot waitable condition for generator processes.
+
+    A process may ``yield signal`` to suspend until some other part of the
+    system calls :meth:`fire`.  Multiple processes may wait on the same
+    signal; all are resumed (in wait order) when it fires.  Firing delivers
+    an optional payload value, which becomes the value of the ``yield``
+    expression in each waiter.
+
+    Signals are one-shot: once fired, any later ``yield signal`` resumes
+    immediately with the stored payload.
+    """
+
+    __slots__ = ("name", "fired", "value", "_waiters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._waiters: list = []
+
+    def add_waiter(self, process) -> None:
+        self._waiters.append(process)
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the signal, waking every waiting process.
+
+        The wake-ups are delivered through the simulator at the current
+        instant (each waiter's resume is scheduled with zero delay), so the
+        caller's stack does not nest arbitrarily deep.
+        """
+        if self.fired:
+            raise RuntimeError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            process._resume_soon(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else f"{len(self._waiters)} waiting"
+        return f"<Signal {self.name!r} {state}>"
+
+
+class Delay:
+    """Explicit delay request for generator processes.
+
+    ``yield Delay(us=3)`` suspends the process for 3 microseconds.  Plain
+    non-negative integers yielded from a process are treated as nanosecond
+    delays, so ``Delay`` is only needed when the unit keyword form reads
+    better.
+    """
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: int = 0, *, us: float = 0, ms: float = 0, s: float = 0):
+        total = ns + us * US + ms * MS + s * SECOND
+        if total < 0 or not math.isfinite(total):
+            raise ValueError(f"invalid delay: {total!r}")
+        self.ns = int(round(total))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Delay({self.ns}ns)"
+
+
+def format_ns(ns: Optional[int]) -> str:
+    """Render a nanosecond count as a human-friendly string."""
+    if ns is None:
+        return "∞"
+    if ns >= SECOND:
+        return f"{ns / SECOND:.3f}s"
+    if ns >= MS:
+        return f"{ns / MS:.3f}ms"
+    if ns >= US:
+        return f"{ns / US:.3f}us"
+    return f"{ns}ns"

@@ -1,0 +1,155 @@
+"""Generator-based simulation processes.
+
+Protocol state machines read far more naturally as sequential code than as
+callback chains.  A :class:`Process` drives a Python generator whose
+``yield`` statements suspend it:
+
+* ``yield 500`` — sleep 500 nanoseconds (any non-negative int/float);
+* ``yield Delay(us=3)`` — sleep with explicit units;
+* ``yield signal`` — wait for a :class:`repro.sim.events.Signal` to fire,
+  resuming with the signal's payload as the value of the yield expression;
+* ``yield other_process`` — wait for another process to finish, resuming
+  with its return value.
+
+A process finishes when its generator returns (the return value is stored
+on :attr:`Process.result` and its completion signal fires) or raises.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from .engine import Simulator
+from .events import Delay, Event, Signal
+
+
+class ProcessFailed(RuntimeError):
+    """Raised when joining a process whose generator raised an exception."""
+
+
+class Process:
+    """Drives a generator as a cooperatively scheduled simulation process."""
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process needs a generator, got {type(generator).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self.generator = generator
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.finished = Signal(f"{self.name}.finished")
+        self._pending_event: Optional[Event] = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, delay_ns: int = 0) -> "Process":
+        """Begin executing the process after an optional delay."""
+        if self._started:
+            raise RuntimeError(f"process {self.name!r} already started")
+        self._started = True
+        self._pending_event = self.sim.schedule(delay_ns, self._step, None, False)
+        return self
+
+    def interrupt(self) -> None:
+        """Kill the process: its generator is closed and it never completes.
+
+        The completion signal still fires (with payload None) so joiners do
+        not hang, but :attr:`result` stays None and :attr:`done` reports
+        True with :attr:`interrupted` set.
+        """
+        if self.done:
+            return
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self.generator.close()
+        self.error = None
+        self.interrupted = True
+        if not self.finished.fired:
+            self.finished.fire(None)
+
+    interrupted = False
+
+    @property
+    def done(self) -> bool:
+        return self.finished.fired
+
+    # ------------------------------------------------------------------
+    # Internal stepping
+    # ------------------------------------------------------------------
+    def _resume_soon(self, value: Any) -> None:
+        """Called by Signal.fire: resume this process at the current instant."""
+        self._pending_event = self.sim.call_soon(self._step, value, False)
+
+    def _step(self, value: Any, is_error: bool) -> None:
+        self._pending_event = None
+        try:
+            if is_error:
+                yielded = self.generator.throw(value)
+            else:
+                yielded = self.generator.send(value)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.finished.fire(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - must record any failure
+            self.error = exc
+            self.finished.fire(None)
+            raise
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, Delay):
+            self._pending_event = self.sim.schedule(yielded.ns, self._step, None, False)
+        elif isinstance(yielded, (int, float)):
+            self._pending_event = self.sim.schedule(int(yielded), self._step, None, False)
+        elif isinstance(yielded, Signal):
+            if yielded.fired:
+                self._pending_event = self.sim.call_soon(self._step, yielded.value, False)
+            else:
+                yielded.add_waiter(self)
+        elif isinstance(yielded, Process):
+            if yielded.done:
+                self._join_now(yielded)
+            else:
+                yielded.finished.add_waiter(_Joiner(self, yielded))
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded unsupported value {yielded!r}"
+            )
+
+    def _join_now(self, other: "Process") -> None:
+        if other.error is not None:
+            err = ProcessFailed(f"joined process {other.name!r} failed: {other.error!r}")
+            err.__cause__ = other.error
+            self._pending_event = self.sim.call_soon(self._step, err, True)
+        else:
+            self._pending_event = self.sim.call_soon(self._step, other.result, False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done else ("running" if self._started else "new")
+        return f"<Process {self.name!r} {state}>"
+
+
+class _Joiner:
+    """Adapter that lets a Process wait on another Process's finish signal."""
+
+    __slots__ = ("waiter", "target")
+
+    def __init__(self, waiter: Process, target: Process):
+        self.waiter = waiter
+        self.target = target
+
+    def _resume_soon(self, _value: Any) -> None:
+        self.waiter._join_now(self.target)
+
+
+def spawn(sim: Simulator, generator: Generator, name: str = "", delay_ns: int = 0) -> Process:
+    """Create and immediately start a :class:`Process`."""
+    return Process(sim, generator, name=name).start(delay_ns)

@@ -1,0 +1,178 @@
+"""Chunk servers: the machines that own physical SSDs.
+
+Block servers fan each WRITE out to (typically) three chunk servers
+(§2.2, Figure 2 step: "write the data into chunk servers with multiple
+copies").  A chunk server charges CPU for LSM/checksum work, then performs
+the SSD operation, then replies.
+
+The chunk store keeps real payload bytes (and their CRCs) when blocks
+carry data, so end-to-end integrity experiments read back exactly what
+survived the datapath — corruptions injected anywhere upstream are
+faithfully persisted and later detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..profiles import SsdProfile
+from ..host.server import StorageServer
+from ..sim.engine import Simulator
+from .block import DataBlock
+from .crc import crc32
+from .ssd import SsdDevice
+
+
+@dataclass
+class ChunkRequest:
+    """A BN request to a chunk server."""
+
+    kind: str  # "write" | "read"
+    segment_id: str
+    vd_id: str
+    lba: int
+    size_bytes: int
+    data: Optional[bytes] = None
+    crc: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("write", "read"):
+            raise ValueError(f"bad chunk request kind: {self.kind!r}")
+
+
+@dataclass
+class ChunkReply:
+    ok: bool
+    kind: str
+    segment_id: str
+    lba: int
+    size_bytes: int
+    data: Optional[bytes] = None
+    crc: Optional[int] = None
+    error: str = ""
+    #: Time spent inside the chunk server (CPU + SSD), for trace splitting:
+    #: Figure 6's "SSD" component "includes the processing time in chunk
+    #: servers and I/O in physical SSDs".
+    service_ns: int = 0
+
+
+class ChunkServer:
+    """One chunk server: CPU + SSD + the chunk store."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: StorageServer,
+        profile: SsdProfile,
+        store_payloads: bool = True,
+    ):
+        self.sim = sim
+        self.server = server
+        self.profile = profile
+        self.store_payloads = store_payloads
+        self.ssd = SsdDevice(sim, f"{server.name}/ssd", profile)
+        #: (segment_id, lba) -> (payload or None, crc)
+        self.store: Dict[Tuple[str, int], Tuple[Optional[bytes], int]] = {}
+        self.writes_served = 0
+        self.reads_served = 0
+        #: Commit-aggregation state (§2.3 fn.1): writes arriving within
+        #: one window batch into a single sequential device commit.
+        self._commit_batch: list = []
+        self._commit_timer_armed = False
+        self.commits = 0
+        self.batched_writes = 0
+
+    @property
+    def name(self) -> str:
+        return self.server.name
+
+    # ------------------------------------------------------------------
+    def handle(self, request: ChunkRequest, reply: Callable[[ChunkReply, int], None]) -> None:
+        """BN entry point (see :meth:`repro.storage.bn.BackendNetwork.call`)."""
+        start_ns = self.sim.now
+        core = self.server.cpu.least_loaded()
+        core.submit(self.profile.chunk_cpu_ns, self._after_cpu, request, reply, start_ns)
+
+    def _after_cpu(self, request: ChunkRequest, reply, start_ns: int) -> None:
+        if request.kind == "write":
+            if self.profile.commit_aggregation_ns > 0:
+                self._enqueue_commit(request, reply, start_ns)
+            else:
+                self.ssd.submit_write(
+                    request.size_bytes, self._finish_write, request, reply, start_ns
+                )
+        else:
+            self.ssd.submit_read(
+                request.size_bytes, self._finish_read, request, reply, start_ns
+            )
+
+    # ------------------------------------------------------------------
+    # Commit aggregation (§2.3 fn.1: LSM + commit aggregation turn random
+    # writes sequential — many small writes share one device commit).
+    # ------------------------------------------------------------------
+    def _enqueue_commit(self, request: ChunkRequest, reply, start_ns: int) -> None:
+        self._commit_batch.append((request, reply, start_ns))
+        if not self._commit_timer_armed:
+            self._commit_timer_armed = True
+            self.sim.schedule(self.profile.commit_aggregation_ns, self._flush_commits)
+
+    def _flush_commits(self) -> None:
+        self._commit_timer_armed = False
+        batch, self._commit_batch = self._commit_batch, []
+        if not batch:
+            return
+        self.commits += 1
+        self.batched_writes += len(batch)
+        total_bytes = sum(req.size_bytes for req, _reply, _t in batch)
+        # One sequential commit covers the whole batch; every member
+        # completes when the commit lands.
+        self.ssd.submit_write(total_bytes, self._finish_batch, batch)
+
+    def _finish_batch(self, batch: list) -> None:
+        for request, reply, start_ns in batch:
+            self._finish_write_stored(request, reply, start_ns)
+
+    def _finish_write_stored(self, request: ChunkRequest, reply, start_ns: int) -> None:
+        """Common completion used by both direct and batched writes."""
+        key = (request.segment_id, request.lba)
+        payload = request.data if self.store_payloads else None
+        crc = request.crc if request.crc is not None else _synthetic_crc(request)
+        self.store[key] = (payload, crc)
+        self.writes_served += 1
+        reply(
+            ChunkReply(
+                True, "write", request.segment_id, request.lba, request.size_bytes,
+                service_ns=self.sim.now - start_ns,
+            ),
+            64,  # ack frame
+        )
+
+    def _finish_write(self, request: ChunkRequest, reply, start_ns: int) -> None:
+        self._finish_write_stored(request, reply, start_ns)
+
+    def _finish_read(self, request: ChunkRequest, reply, start_ns: int) -> None:
+        key = (request.segment_id, request.lba)
+        stored = self.store.get(key)
+        if stored is None:
+            # Reading never-written space returns zeros, like a fresh disk.
+            data = bytes(request.size_bytes) if self.store_payloads else None
+            crc = crc32(bytes(request.size_bytes))
+        else:
+            data, crc = stored
+        self.reads_served += 1
+        reply(
+            ChunkReply(
+                True, "read", request.segment_id, request.lba, request.size_bytes,
+                data=data, crc=crc, service_ns=self.sim.now - start_ns,
+            ),
+            request.size_bytes + 64,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ChunkServer {self.name} blocks={len(self.store)}>"
+
+
+def _synthetic_crc(request: ChunkRequest) -> int:
+    block = DataBlock(request.vd_id, request.lba, request.size_bytes)
+    return block.crc

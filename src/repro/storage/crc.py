@@ -1,0 +1,157 @@
+"""CRC32 arithmetic, including the algebra SOLAR's integrity check uses.
+
+§4.5: "CRC32 is deployed in FPGA, and the CPU merely verifies segment
+level CRC with the CRC values for each data block in the segment.  It
+essentially takes advantage of CRC32's divide-and-conquer property —
+CRC(A XOR B) = CRC(A) XOR CRC(B)."
+
+Two flavours are provided:
+
+* :func:`crc32` — the standard (zlib-compatible) CRC-32: reflected
+  polynomial 0xEDB88320, init 0xFFFFFFFF, final XOR 0xFFFFFFFF.  This is
+  what travels in packet headers and what the FPGA computes per block.
+* :func:`crc32_raw` — the *linear* core (init 0, no final XOR).  Over
+  GF(2) this is a linear map, so for equal-length inputs
+  ``crc32_raw(xor(A, B)) == crc32_raw(A) ^ crc32_raw(B)`` holds exactly —
+  the identity the CPU-side aggregation check relies on.  The standard
+  CRC is *affine*, not linear; :func:`crc32_xor_identity_offset` exposes
+  the constant that relates the two forms for a given length.
+
+:func:`crc32_combine` implements zlib's GF(2)-matrix combination, letting
+the CPU compute the CRC of a whole segment from per-block CRCs without
+re-reading any data — the "lightweight check on an aggregation of multiple
+blocks' CRC values in software".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+_POLY = 0xEDB88320
+_MASK = 0xFFFFFFFF
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32_update(crc: int, data: bytes) -> int:
+    """Advance a raw (no init/xorout) CRC register over ``data``."""
+    crc &= _MASK
+    for byte in data:
+        crc = _TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc
+
+
+def crc32(data: bytes, crc: int = 0) -> int:
+    """Standard CRC-32 (zlib/PKZip semantics)."""
+    return crc32_update(crc ^ _MASK, data) ^ _MASK
+
+
+def crc32_raw(data: bytes) -> int:
+    """The linear CRC core: init 0, no final XOR.
+
+    Satisfies ``crc32_raw(A ^ B) == crc32_raw(A) ^ crc32_raw(B)`` for
+    equal-length A, B, and ``crc32_raw(0^n) == 0``.
+    """
+    return crc32_update(0, data)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """Bytewise XOR of two equal-length strings."""
+    if len(a) != len(b):
+        raise ValueError(f"xor_bytes length mismatch: {len(a)} vs {len(b)}")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def crc32_xor_identity_offset(length: int) -> int:
+    """The affine offset: ``crc32(A^B) == crc32(A) ^ crc32(B) ^ offset``.
+
+    For the standard CRC the init/final XORs contribute a constant that
+    depends only on the message length; it equals ``crc32(0^length)``.
+    """
+    return crc32(bytes(length))
+
+
+# ----------------------------------------------------------------------
+# GF(2) matrix combine (zlib's crc32_combine)
+# ----------------------------------------------------------------------
+def _gf2_matrix_times(mat: Sequence[int], vec: int) -> int:
+    total = 0
+    idx = 0
+    while vec:
+        if vec & 1:
+            total ^= mat[idx]
+        vec >>= 1
+        idx += 1
+    return total
+
+
+def _gf2_matrix_square(square: List[int], mat: Sequence[int]) -> None:
+    for n in range(32):
+        square[n] = _gf2_matrix_times(mat, mat[n])
+
+
+def crc32_combine(crc1: int, crc2: int, len2: int) -> int:
+    """CRC of the concatenation A||B given crc32(A), crc32(B), len(B).
+
+    This is the software "divide-and-conquer" aggregation: per-block CRCs
+    computed in hardware can be folded into a segment CRC on the CPU in
+    O(log len) time per block, touching no payload bytes.
+    """
+    if len2 < 0:
+        raise ValueError(f"negative length: {len2}")
+    if len2 == 0:
+        return crc1 & _MASK
+
+    even = [0] * 32  # even-power-of-two zero operators
+    odd = [0] * 32  # odd-power operators
+
+    # Operator for one zero bit: the CRC shift register step.
+    odd[0] = _POLY
+    row = 1
+    for n in range(1, 32):
+        odd[n] = row
+        row <<= 1
+    _gf2_matrix_square(even, odd)  # two zero bits
+    _gf2_matrix_square(odd, even)  # four zero bits
+
+    crc1 &= _MASK
+    crc2 &= _MASK
+    length = len2
+    while True:
+        _gf2_matrix_square(even, odd)
+        if length & 1:
+            crc1 = _gf2_matrix_times(even, crc1)
+        length >>= 1
+        if length == 0:
+            break
+        _gf2_matrix_square(odd, even)
+        if length & 1:
+            crc1 = _gf2_matrix_times(odd, crc1)
+        length >>= 1
+        if length == 0:
+            break
+    return (crc1 ^ crc2) & _MASK
+
+
+def crc32_of_concat(block_crcs: Iterable[int], block_len: int) -> int:
+    """Fold equal-length per-block CRCs into the CRC of the concatenation."""
+    result = 0
+    first = True
+    for crc in block_crcs:
+        if first:
+            result = crc & _MASK
+            first = False
+        else:
+            result = crc32_combine(result, crc, block_len)
+    return result

@@ -1,0 +1,52 @@
+"""Replication helpers: quorum tracking for multi-copy writes."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+
+class QuorumTracker:
+    """Collects N completions and fires once when all (or enough) arrive.
+
+    EBS writes wait for *all* replicas (full-write quorum, §2.2: three
+    copies confirmed before the SA gets its WRITE success), so the default
+    required count equals the total; a smaller quorum is supported for
+    ablation experiments.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        on_done: Callable[[bool, List[Any]], None],
+        required: Optional[int] = None,
+    ):
+        if total < 1:
+            raise ValueError(f"quorum over {total} replicas")
+        required = total if required is None else required
+        if not 1 <= required <= total:
+            raise ValueError(f"required {required} out of range for total {total}")
+        self.total = total
+        self.required = required
+        self.on_done = on_done
+        self.successes: List[Any] = []
+        self.failures: List[Any] = []
+        self._fired = False
+
+    def complete(self, ok: bool, result: Any = None) -> None:
+        """Record one replica's completion."""
+        if self._fired:
+            return
+        (self.successes if ok else self.failures).append(result)
+        if len(self.successes) >= self.required:
+            self._fired = True
+            self.on_done(True, self.successes)
+        elif len(self.successes) + len(self.failures) >= self.total:
+            # Even if every remaining replica succeeded we could not reach
+            # the quorum... but successes are all in by now, so this is the
+            # definitive failure path.
+            self._fired = True
+            self.on_done(False, self.failures)
+
+    @property
+    def done(self) -> bool:
+        return self._fired

@@ -1,0 +1,149 @@
+"""The Segment Table: the core data structure of storage virtualization.
+
+§2.2: the Segment Table "traces the mapping between the data block address
+on a VD and the corresponding data segment(s) on the physical disk(s) and
+the block servers in storage clusters".  §4.5: each segment hosted in a
+block server covers relatively large (e.g. 2MB) contiguous LBA ranges so
+that I/O splitting across block servers stays rare.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..profiles import BLOCK_SIZE
+
+#: §4.5: segments are "relatively large (e.g., 2MB)".
+SEGMENT_BYTES = 2 * 1024 * 1024
+BLOCKS_PER_SEGMENT = SEGMENT_BYTES // BLOCK_SIZE
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A contiguous run of a VD's LBAs hosted by one block server."""
+
+    segment_id: str
+    vd_id: str
+    start_lba: int
+    num_blocks: int
+    block_server: str  # endpoint name of the hosting block server
+    replicas: Tuple[str, ...]  # chunk-server endpoint names (3 copies, §2.2)
+
+    @property
+    def end_lba(self) -> int:
+        return self.start_lba + self.num_blocks
+
+    def contains(self, lba: int) -> bool:
+        return self.start_lba <= lba < self.end_lba
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A sub-range of one I/O that lands inside a single segment."""
+
+    segment: Segment
+    start_lba: int
+    num_blocks: int
+
+
+class UnmappedAddressError(KeyError):
+    """An LBA fell outside every provisioned segment of the VD."""
+
+
+class SegmentTable:
+    """Per-VD ordered segment maps with range lookup and I/O splitting."""
+
+    def __init__(self) -> None:
+        self._segments: Dict[str, List[Segment]] = {}
+
+    def provision(
+        self,
+        vd_id: str,
+        size_bytes: int,
+        block_servers: Sequence[str],
+        chunk_servers: Sequence[str],
+        replicas: int = 3,
+    ) -> List[Segment]:
+        """Carve a VD into segments spread over the storage cluster.
+
+        Placement is deterministic (hash-spread) so experiments are
+        reproducible without a management-plane simulation.
+        """
+        if vd_id in self._segments:
+            raise ValueError(f"VD {vd_id!r} already provisioned")
+        if size_bytes <= 0 or size_bytes % BLOCK_SIZE:
+            raise ValueError(f"VD size must be a positive multiple of {BLOCK_SIZE}")
+        if not block_servers:
+            raise ValueError("no block servers available")
+        if len(chunk_servers) < replicas:
+            raise ValueError(
+                f"need >= {replicas} chunk servers, have {len(chunk_servers)}"
+            )
+        total_blocks = size_bytes // BLOCK_SIZE
+        segments: List[Segment] = []
+        start = 0
+        index = 0
+        while start < total_blocks:
+            num = min(BLOCKS_PER_SEGMENT, total_blocks - start)
+            seg_id = f"{vd_id}/seg{index}"
+            bs = block_servers[self._spread(seg_id, "bs") % len(block_servers)]
+            reps = self._pick_replicas(seg_id, chunk_servers, replicas)
+            segments.append(Segment(seg_id, vd_id, start, num, bs, reps))
+            start += num
+            index += 1
+        self._segments[vd_id] = segments
+        return segments
+
+    @staticmethod
+    def _spread(key: str, salt: str) -> int:
+        digest = hashlib.blake2b(f"{salt}|{key}".encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "little")
+
+    @classmethod
+    def _pick_replicas(
+        cls, seg_id: str, chunk_servers: Sequence[str], replicas: int
+    ) -> Tuple[str, ...]:
+        ranked = sorted(
+            chunk_servers, key=lambda cs: cls._spread(f"{seg_id}|{cs}", "rep")
+        )
+        return tuple(ranked[:replicas])
+
+    # ------------------------------------------------------------------
+    def segments_of(self, vd_id: str) -> List[Segment]:
+        try:
+            return self._segments[vd_id]
+        except KeyError:
+            raise UnmappedAddressError(f"VD {vd_id!r} not provisioned") from None
+
+    def lookup(self, vd_id: str, lba: int) -> Segment:
+        """Find the segment containing one LBA (binary search)."""
+        segments = self.segments_of(vd_id)
+        lo, hi = 0, len(segments) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            seg = segments[mid]
+            if lba < seg.start_lba:
+                hi = mid - 1
+            elif lba >= seg.end_lba:
+                lo = mid + 1
+            else:
+                return seg
+        raise UnmappedAddressError(f"{vd_id!r} LBA {lba} outside provisioned range")
+
+    def extents(self, vd_id: str, start_lba: int, num_blocks: int) -> List[Extent]:
+        """Split an I/O into per-segment extents — the Block-table I/O
+        splitting step of Figure 12 ("one for each block server")."""
+        if num_blocks <= 0:
+            raise ValueError(f"non-positive block count: {num_blocks}")
+        extents: List[Extent] = []
+        lba = start_lba
+        remaining = num_blocks
+        while remaining > 0:
+            seg = self.lookup(vd_id, lba)
+            take = min(remaining, seg.end_lba - lba)
+            extents.append(Extent(seg, lba, take))
+            lba += take
+            remaining -= take
+        return extents

@@ -1,0 +1,26 @@
+"""Frontend-network transport stacks: kernel TCP, LUNA, RDMA, raw UDP."""
+
+from .base import RpcExchange, RpcHandler, RpcTransport, TransportError
+from .kernel_tcp import KernelTcpTransport, kernel_tcp_config
+from .luna import LunaTransport, luna_config
+from .rdma import RdmaTransport, rdma_config
+from .stream import Message, StreamConfig, StreamConnection, StreamTransport
+from .udp import DatagramSocket
+
+__all__ = [
+    "RpcTransport",
+    "RpcExchange",
+    "RpcHandler",
+    "TransportError",
+    "StreamTransport",
+    "StreamConnection",
+    "StreamConfig",
+    "Message",
+    "KernelTcpTransport",
+    "kernel_tcp_config",
+    "LunaTransport",
+    "luna_config",
+    "RdmaTransport",
+    "rdma_config",
+    "DatagramSocket",
+]

@@ -1,0 +1,50 @@
+"""Kernel TCP stack model — the legacy baseline (§2.3, §3.1).
+
+Characteristics captured (calibrated against Table 1 and Figure 6):
+
+* large fixed stack traversal latency (syscall, interrupt, softirq,
+  socket locking) on every message in both directions;
+* high per-packet *and* per-byte CPU cost (two copies), limiting a core
+  to roughly 12 Gbps of 4KB RPC traffic;
+* Linux's 200ms minimum RTO with exponential backoff — the mechanism
+  that turns a silent path blackhole into a multi-second I/O hang;
+* standard 1500B MTU segmentation with TSO/GSO-sized CPU charging.
+"""
+
+from __future__ import annotations
+
+from ..host.cpu import CpuComplex
+from ..net.endpoint import Endpoint
+from ..profiles import Profiles
+from ..sim.engine import Simulator
+from .stream import StreamConfig, StreamTransport
+
+
+def kernel_tcp_config(profiles: Profiles) -> StreamConfig:
+    p = profiles.kernel_tcp
+    net = profiles.network
+    return StreamConfig(
+        proto="tcp",
+        mss=net.standard_mtu_bytes - 52,
+        tso_bytes=16 * 1024,
+        header_overhead=net.header_overhead_bytes,
+        stack_latency_ns=p.stack_latency_ns,
+        per_packet_cpu_ns=p.per_packet_cpu_ns,
+        per_byte_cpu_ns=p.per_byte_cpu_ns,
+        min_rto_ns=p.min_rto_ns,
+        max_rto_ns=p.max_rto_ns,
+        init_cwnd=p.init_cwnd_packets,
+    )
+
+
+class KernelTcpTransport(StreamTransport):
+    """The kernel TCP RPC transport bound to one host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: Endpoint,
+        cpu: CpuComplex,
+        profiles: Profiles,
+    ):
+        super().__init__(sim, endpoint, cpu, kernel_tcp_config(profiles))

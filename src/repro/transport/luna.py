@@ -1,0 +1,60 @@
+"""LUNA: the user-space TCP stack (§3).
+
+LUNA keeps TCP's reliable byte-stream semantics but moves the whole stack
+into user space with an mTCP-like run-to-completion model, extended with
+(§3.2):
+
+* zero-copy across SA and RPC (no per-byte CPU cost on the datapath);
+* lock-free, share-nothing threading — each connection is pinned to one
+  core (see :meth:`StreamTransport.pick_core`);
+* NIC segmentation offload (TSO/GSO) — CPU is charged per burst, not per
+  wire packet.
+
+What LUNA does *not* change is the transport architecture: one connection
+= one 5-tuple = one ECMP path, with timer-driven recovery.  That is the
+§3.3 lesson ("LUNA has no option but to wait for the long recovery") that
+motivates SOLAR's multi-path design.
+"""
+
+from __future__ import annotations
+
+from ..host.cpu import CpuComplex
+from ..net.endpoint import Endpoint
+from ..profiles import Profiles
+from ..sim.engine import Simulator
+from .stream import StreamConfig, StreamTransport
+
+
+def luna_config(profiles: Profiles, jumbo: bool = False) -> StreamConfig:
+    """LUNA's stream constants.  ``jumbo=True`` reproduces the §4.7
+    footnote experiment ("we also test LUNA with jumbo frame and the
+    result is the same due to the inevitable CPU handover and states")."""
+    p = profiles.luna
+    net = profiles.network
+    mss = (net.mtu_bytes if jumbo else net.standard_mtu_bytes) - 52
+    return StreamConfig(
+        proto="luna",
+        mss=mss,
+        tso_bytes=16 * 1024,
+        header_overhead=net.header_overhead_bytes,
+        stack_latency_ns=p.stack_latency_ns,
+        per_packet_cpu_ns=p.per_packet_cpu_ns,
+        per_byte_cpu_ns=p.per_byte_cpu_ns,
+        min_rto_ns=p.min_rto_ns,
+        max_rto_ns=p.max_rto_ns,
+        init_cwnd=p.init_cwnd_packets,
+    )
+
+
+class LunaTransport(StreamTransport):
+    """The LUNA RPC transport bound to one host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: Endpoint,
+        cpu: CpuComplex,
+        profiles: Profiles,
+        jumbo: bool = False,
+    ):
+        super().__init__(sim, endpoint, cpu, luna_config(profiles, jumbo))

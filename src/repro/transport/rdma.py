@@ -1,0 +1,83 @@
+"""RoCEv2 RC (RDMA) model — the hardware comparator (§3.1, Figures 14/15).
+
+The transport itself is nearly free: tiny fixed latency, zero per-packet
+CPU, NIC-side segmentation at 4KB MTU.  What the paper holds against it
+for the FN is captured structurally:
+
+* **connection scalability** — RNIC on-chip caches thrash beyond ~5K QPs
+  and "overall throughput went down quickly" (§3.1).  The model charges a
+  growing per-packet NIC delay once the (real + hinted) connection count
+  exceeds the cliff.  Experiments emulating a loaded storage node set
+  :attr:`RdmaTransport.extra_connections_hint` instead of building
+  thousands of live peers.
+* **no SA offload** — RDMA only moves bytes; the SA still runs on the
+  DPU CPU and the data still crosses the internal PCIe twice
+  (Figure 10b).  Those costs are charged by the agent layer, not here.
+"""
+
+from __future__ import annotations
+
+from ..host.cpu import CpuComplex
+from ..net.endpoint import Endpoint
+from ..profiles import Profiles, bytes_time_ns
+from ..sim.engine import Simulator
+from .stream import StreamConfig, StreamConnection, StreamTransport
+
+
+def rdma_config(profiles: Profiles) -> StreamConfig:
+    p = profiles.rdma
+    net = profiles.network
+    return StreamConfig(
+        proto="rdma",
+        mss=4096,
+        tso_bytes=64 * 1024,
+        header_overhead=net.header_overhead_bytes,
+        stack_latency_ns=p.stack_latency_ns,
+        per_packet_cpu_ns=p.per_packet_cpu_ns,
+        per_byte_cpu_ns=0.0,
+        min_rto_ns=p.min_rto_ns,
+        max_rto_ns=p.max_rto_ns,
+        init_cwnd=p.init_cwnd_packets,
+    )
+
+
+class RdmaTransport(StreamTransport):
+    """RC-semantics RDMA transport with the connection-scalability cliff."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        endpoint: Endpoint,
+        cpu: CpuComplex,
+        profiles: Profiles,
+    ):
+        super().__init__(sim, endpoint, cpu, rdma_config(profiles))
+        self.connection_cliff = profiles.rdma.connection_cliff
+        self.cliff_floor = profiles.rdma.cliff_floor
+        #: Experiments may pretend this many additional QPs are active.
+        self.extra_connections_hint = 0
+        #: Serial-resource horizon modelling the QP-cache-thrashed NIC.
+        self._nic_free_ns = 0
+
+    def _throughput_factor(self) -> float:
+        total = self.active_connections + self.extra_connections_hint
+        if total <= self.connection_cliff:
+            return 1.0
+        # Throughput degrades with the QP-cache miss ratio, floored.
+        return max(self.cliff_floor, self.connection_cliff / total)
+
+    def emit_delay_ns(self, conn: StreamConnection) -> int:
+        """Past the cliff the NIC behaves like a serial resource whose
+        per-packet service time is wire/factor: packets queue behind each
+        other inside the NIC before reaching the link."""
+        factor = self._throughput_factor()
+        if factor >= 1.0 or not self.endpoint.uplinks:
+            return 0
+        line_gbps = self.endpoint.uplinks[0].gbps
+        wire = bytes_time_ns(self.config.mss, line_gbps)
+        service = int(wire / factor)
+        now = self.sim.now
+        start = max(now, self._nic_free_ns)
+        self._nic_free_ns = start + service
+        # The link itself still charges `wire`; only the excess is added.
+        return max(0, (start - now) + (service - wire))

@@ -1,0 +1,112 @@
+"""Trace-driven workloads: record I/O streams, replay them anywhere.
+
+Production analyses (like the paper's Figures 3-6) run the *same*
+workload across stack generations.  A :class:`TraceRecorder` captures an
+I/O stream as portable records; :func:`replay` re-issues them, preserving
+inter-arrival times, against any deployment.  Traces serialize to JSON
+lines so they can be stored alongside experiment results.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Callable, Iterable, List, Optional, TextIO
+
+from ..agent.base import IoRequest
+from ..ebs.virtual_disk import VirtualDisk
+from ..metrics.stats import LatencyStats
+from ..sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class IoRecord:
+    """One recorded I/O: timing and shape, no payload."""
+
+    at_ns: int
+    kind: str
+    offset_bytes: int
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("read", "write"):
+            raise ValueError(f"bad kind {self.kind!r}")
+        if self.at_ns < 0 or self.size_bytes <= 0 or self.offset_bytes < 0:
+            raise ValueError(f"invalid record: {self}")
+
+
+class TraceRecorder:
+    """Collects IoRecords; wrap a generator's issue path with record()."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.records: List[IoRecord] = []
+        self._t0: Optional[int] = None
+
+    def record(self, kind: str, offset_bytes: int, size_bytes: int) -> None:
+        if self._t0 is None:
+            self._t0 = self.sim.now
+        self.records.append(
+            IoRecord(self.sim.now - self._t0, kind, offset_bytes, size_bytes)
+        )
+
+    def dump(self, fp: TextIO) -> int:
+        for record in self.records:
+            fp.write(json.dumps(asdict(record)) + "\n")
+        return len(self.records)
+
+
+def load_trace(fp: TextIO) -> List[IoRecord]:
+    """Parse a JSON-lines trace, validating every record."""
+    records = []
+    for line_no, line in enumerate(fp, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(IoRecord(**json.loads(line)))
+        except (json.JSONDecodeError, TypeError, ValueError) as exc:
+            raise ValueError(f"bad trace record at line {line_no}: {exc}") from exc
+    return records
+
+
+class ReplayResult:
+    def __init__(self) -> None:
+        self.latency = LatencyStats("replay")
+        self.issued = 0
+        self.completed = 0
+        self.failed = 0
+
+
+def replay(
+    sim: Simulator,
+    vd: VirtualDisk,
+    records: Iterable[IoRecord],
+    time_scale: float = 1.0,
+    on_each: Optional[Callable[[IoRequest], None]] = None,
+) -> ReplayResult:
+    """Schedule every record against ``vd`` with original inter-arrivals
+    (scaled by ``time_scale``); caller runs the simulator afterwards."""
+    if time_scale <= 0:
+        raise ValueError(f"non-positive time scale: {time_scale}")
+    result = ReplayResult()
+
+    def finish(io: IoRequest) -> None:
+        if io.trace is not None and io.trace.ok:
+            result.completed += 1
+            result.latency.record(io.trace.total_ns)
+        else:
+            result.failed += 1
+        if on_each is not None:
+            on_each(io)
+
+    for record in records:
+        size = min(record.size_bytes, vd.size_bytes)
+        offset = min(record.offset_bytes, vd.size_bytes - size)
+        offset -= offset % 4096
+        result.issued += 1
+        if record.kind == "read":
+            sim.schedule(int(record.at_ns * time_scale), vd.read, offset, size, finish)
+        else:
+            sim.schedule(int(record.at_ns * time_scale), vd.write, offset, size, finish)
+    return result

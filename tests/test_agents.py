@@ -1,0 +1,175 @@
+"""Tests for the storage agents: cost structure, attribution, hosting
+differences, and the storage RPC service."""
+
+import pytest
+
+from repro.agent.rpc import StorageRpcPayload
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.profiles import BLOCK_SIZE
+from repro.sim import MS
+
+
+def deploy(stack, **kwargs):
+    dep = EbsDeployment(DeploymentSpec(stack=stack, seed=47, **kwargs))
+    vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 128 * 1024 * 1024)
+    return dep, vd
+
+
+def one_io(dep, vd, kind, size=BLOCK_SIZE, offset=0, data=None):
+    done = []
+    getattr(vd, kind)(offset, size, done.append, **({"data": data} if data else {}))
+    dep.run()
+    assert done
+    return done[0]
+
+
+class TestSoftwareSaCosts:
+    def test_vm_hosting_charges_virtio(self):
+        """The same stack is slower in VM hosting than bare-metal-without-
+        PCIe-pressure would suggest: virtio overhead is real."""
+        vm = deploy("luna", hosting="vm")
+        sa_vm = one_io(*vm, "write").trace.components["sa"]
+        # Bare-metal skips virtio but pays DPU PCIe; compare SA only.
+        bm = deploy("luna", hosting="bare_metal")
+        sa_bm = one_io(*bm, "write").trace.components["sa"]
+        assert sa_vm > sa_bm
+
+    def test_write_issue_cost_exceeds_read_issue_cost(self):
+        """Writes pay CRC (+crypto) on issue; reads pay it on completion."""
+        dep, vd = deploy("luna", encrypt_payloads=True)
+        agent = dep.agents[vd.host_name]
+        from repro.agent.base import IoRequest
+
+        w = IoRequest("write", "vd0", 0, 16 * 1024, lambda io: None)
+        r = IoRequest("read", "vd0", 0, 16 * 1024, lambda io: None)
+        assert agent._issue_cost_ns(w) > agent._issue_cost_ns(r)
+        assert agent._completion_cost_ns(r) > agent._completion_cost_ns(w)
+
+    def test_cost_scales_with_io_size(self):
+        dep, vd = deploy("luna")
+        agent = dep.agents[vd.host_name]
+        from repro.agent.base import IoRequest
+
+        small = IoRequest("write", "vd0", 0, 4096, lambda io: None)
+        large = IoRequest("write", "vd0", 0, 128 * 1024, lambda io: None)
+        assert agent._issue_cost_ns(large) > 2 * agent._issue_cost_ns(small)
+
+    def test_bare_metal_charges_internal_pcie(self):
+        dep, vd = deploy("luna", hosting="bare_metal")
+        one_io(dep, vd, "write", size=64 * 1024)
+        server = dep.compute_servers[vd.host_name]
+        assert server.dpu is not None
+        # Two crossings of 64KB on the write path.
+        assert server.dpu.internal_pcie.bytes_moved >= 2 * 64 * 1024
+
+    def test_vm_hosting_never_touches_dpu(self):
+        dep, vd = deploy("luna", hosting="vm")
+        one_io(dep, vd, "write")
+        assert dep.compute_servers[vd.host_name].dpu is None
+
+
+class TestAttribution:
+    @pytest.mark.parametrize("stack", ["kernel", "luna", "rdma", "solar"])
+    def test_components_cover_most_of_total(self, stack):
+        dep, vd = deploy(stack)
+        for kind in ("write", "read"):
+            trace = one_io(dep, vd, kind, offset=0 if kind == "write" else 4096).trace
+            assert 0 <= trace.unattributed_ns() < max(trace.total_ns * 0.3, 20_000)
+
+    def test_ssd_component_tracks_chunk_service(self):
+        dep, vd = deploy("luna")
+        trace = one_io(dep, vd, "read").trace
+        assert trace.components["ssd"] > 10_000  # NAND-scale
+
+    def test_bn_component_positive(self):
+        dep, vd = deploy("luna")
+        trace = one_io(dep, vd, "write").trace
+        assert trace.components["bn"] > 1_000
+
+    def test_nvme_counted_in_sa(self):
+        dep, vd = deploy("solar")
+        trace = one_io(dep, vd, "write").trace
+        nvme = dep.compute_servers[vd.host_name].nvme
+        assert nvme.submitted == 1 and nvme.completed == 1
+        assert trace.components["sa"] >= nvme.submit_latency_ns
+
+
+class TestStorageRpcService:
+    def test_payload_sizes(self):
+        from repro.storage.segment_table import SegmentTable
+        from repro.storage.block import split_into_blocks
+
+        table = SegmentTable()
+        table.provision("vd", 8 * 1024 * 1024, ["bs0"], ["c0", "c1", "c2"])
+        extent = table.extents("vd", 0, 4)[0]
+        blocks = split_into_blocks("vd", 0, 4 * BLOCK_SIZE)
+        write = StorageRpcPayload("write", extent, blocks)
+        read = StorageRpcPayload("read", extent, blocks)
+        assert write.request_bytes() > 4 * BLOCK_SIZE
+        assert write.response_bytes() < 256
+        assert read.request_bytes() < 256
+        assert read.response_bytes() > 4 * BLOCK_SIZE
+
+    def test_write_ack_meta_has_timing(self):
+        dep, vd = deploy("luna")
+        one_io(dep, vd, "write")
+        # The recorded trace's bn+ssd came from exchange meta; both > 0
+        # implies the server annotated storage_ns and ssd_ns.
+        trace = dep.collector.traces[-1]
+        assert trace.components["ssd"] > 0
+
+    def test_multi_extent_write_hits_multiple_block_servers(self):
+        dep, vd = deploy("luna")
+        io = one_io(dep, vd, "write", offset=2 * 1024 * 1024 - 2 * BLOCK_SIZE,
+                    size=4 * BLOCK_SIZE)
+        assert io.trace.ok
+        busy = [bs for bs in dep.block_servers.values() if bs.writes > 0]
+        segs = dep.segment_table.extents(
+            "vd0", (2 * 1024 * 1024 - 2 * BLOCK_SIZE) // BLOCK_SIZE, 4
+        )
+        expected = {e.segment.block_server for e in segs}
+        assert {b.name for b in busy} == expected
+
+
+class TestSolarSaSpecifics:
+    def test_solar_star_has_no_offload(self):
+        dep, vd = deploy("solar_star")
+        assert dep.solar_offloads == {}
+        assert one_io(dep, vd, "write").trace.ok
+
+    def test_solar_read_installs_and_clears_addr_entries(self):
+        dep, vd = deploy("solar")
+        offload = dep.solar_offloads[vd.host_name]
+        one_io(dep, vd, "write", size=8 * BLOCK_SIZE)
+        one_io(dep, vd, "read", size=8 * BLOCK_SIZE)
+        assert offload.addr_table.peak_occupancy == 8
+        assert len(offload.addr_table) == 0
+
+    def test_write_data_flows_through_dma(self):
+        dep, vd = deploy("solar")
+        one_io(dep, vd, "write", size=4 * BLOCK_SIZE)
+        dpu = dep.compute_servers[vd.host_name].dpu
+        assert dpu.dma.reads == 4  # one guest-memory fetch per block
+
+    def test_read_data_dma_to_guest(self):
+        dep, vd = deploy("solar")
+        one_io(dep, vd, "write", size=4 * BLOCK_SIZE)
+        dpu = dep.compute_servers[vd.host_name].dpu
+        before = dpu.dma.writes
+        one_io(dep, vd, "read", size=4 * BLOCK_SIZE)
+        assert dpu.dma.writes - before == 4
+
+    def test_solar_never_crosses_internal_pcie(self):
+        """Figure 10c: full offload keeps data off the internal PCIe."""
+        dep, vd = deploy("solar")
+        one_io(dep, vd, "write", size=16 * BLOCK_SIZE)
+        one_io(dep, vd, "read", size=16 * BLOCK_SIZE)
+        dpu = dep.compute_servers[vd.host_name].dpu
+        assert dpu.internal_pcie.bytes_moved == 0
+
+    def test_solar_star_does_cross_internal_pcie(self):
+        """Figure 10a: without offload, data transits the internal PCIe."""
+        dep, vd = deploy("solar_star")
+        one_io(dep, vd, "write", size=16 * BLOCK_SIZE)
+        dpu = dep.compute_servers[vd.host_name].dpu
+        assert dpu.internal_pcie.bytes_moved > 0

@@ -1,0 +1,195 @@
+"""Tests for packet capture, result export, and access patterns."""
+
+import io
+import json
+import random
+
+import pytest
+
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.metrics.export import (
+    breakdown_to_json,
+    latency_to_json,
+    series_to_csv,
+    traces_to_csv,
+)
+from repro.metrics.series import TimeSeries
+from repro.metrics.stats import LatencyStats
+from repro.net.capture import PacketCapture
+from repro.profiles import BLOCK_SIZE
+from repro.workloads.patterns import (
+    SequentialPattern,
+    StridedPattern,
+    UniformPattern,
+    ZipfianPattern,
+)
+
+
+def deployment_with_capture(stack="solar", seed=15):
+    dep = EbsDeployment(DeploymentSpec(stack=stack, seed=seed))
+    vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 128 * 1024 * 1024)
+    capture = PacketCapture(dep.sim)
+    for host in dep.topology.hosts.values():
+        capture.tap(host)
+    return dep, vd, capture
+
+
+class TestPacketCapture:
+    def test_records_every_delivery(self):
+        dep, vd, capture = deployment_with_capture()
+        done = []
+        vd.write(0, 4 * BLOCK_SIZE, done.append)
+        dep.run()
+        assert done[0].trace.ok
+        # 4 data packets + 4 acks at minimum.
+        assert len(capture) >= 8
+
+    def test_filter_by_proto_and_port(self):
+        dep, vd, capture = deployment_with_capture()
+        done = []
+        vd.write(0, 2 * BLOCK_SIZE, done.append)
+        dep.run()
+        from repro.core.solar import SERVER_PORT
+
+        data = capture.filter(proto="solar", dport=SERVER_PORT)
+        assert len(data) == 2  # exactly the two block packets
+        assert all(r.size_bytes > BLOCK_SIZE for r in data)
+
+    def test_flow_accounting(self):
+        dep, vd, capture = deployment_with_capture()
+        done = []
+        vd.write(0, BLOCK_SIZE, done.append)
+        dep.run()
+        flows = capture.flows()
+        assert flows
+        total_pkts = sum(packets for packets, _bytes in flows.values())
+        assert total_pkts == len(capture)
+
+    def test_capture_does_not_change_behavior(self):
+        plain = EbsDeployment(DeploymentSpec(stack="solar", seed=15))
+        vd_p = VirtualDisk(plain, "vd0", plain.compute_host_names()[0],
+                           128 * 1024 * 1024)
+        done_p = []
+        vd_p.write(0, BLOCK_SIZE, done_p.append)
+        plain.run()
+
+        dep, vd, _capture = deployment_with_capture(seed=15)
+        done_c = []
+        vd.write(0, BLOCK_SIZE, done_c.append)
+        dep.run()
+        assert done_p[0].trace.total_ns == done_c[0].trace.total_ns
+
+    def test_truncation_flag(self):
+        dep, vd, _ = deployment_with_capture()
+        small = PacketCapture(dep.sim, max_records=2)
+        for host in dep.topology.hosts.values():
+            small.tap(host)
+        done = []
+        vd.write(0, 4 * BLOCK_SIZE, done.append)
+        dep.run()
+        assert len(small) == 2 and small.truncated
+
+    def test_dump_renders(self):
+        dep, vd, capture = deployment_with_capture()
+        done = []
+        vd.write(0, BLOCK_SIZE, done.append)
+        dep.run()
+        text = capture.dump(limit=3)
+        assert "solar" in text
+
+    def test_max_records_validated(self):
+        dep, _vd, _c = deployment_with_capture()
+        with pytest.raises(ValueError):
+            PacketCapture(dep.sim, max_records=0)
+
+
+class TestExport:
+    def _collector(self):
+        dep = EbsDeployment(DeploymentSpec(stack="luna", seed=16))
+        vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 64 * 1024 * 1024)
+        done = []
+        vd.write(0, BLOCK_SIZE, done.append)
+        dep.run()
+        vd.read(0, BLOCK_SIZE, done.append)
+        dep.run()
+        return dep.collector
+
+    def test_traces_csv_round_trip(self):
+        import csv
+
+        collector = self._collector()
+        buffer = io.StringIO()
+        count = traces_to_csv(collector, buffer)
+        assert count == 2
+        buffer.seek(0)
+        rows = list(csv.DictReader(buffer))
+        assert {r["kind"] for r in rows} == {"read", "write"}
+        assert all(int(r["total_ns"]) > 0 for r in rows)
+
+    def test_latency_json(self):
+        stats = LatencyStats("x")
+        stats.extend([1_000, 2_000, 3_000])
+        buffer = io.StringIO()
+        latency_to_json({"x": stats}, buffer)
+        payload = json.loads(buffer.getvalue())
+        assert payload["x"]["count"] == 3
+        assert payload["x"]["p50_us"] == 2.0
+
+    def test_series_csv(self):
+        series = TimeSeries("iops", bucket_ns=1_000)
+        series.add(100)
+        series.add(1_500)
+        buffer = io.StringIO()
+        assert series_to_csv(series, buffer) == 2
+
+    def test_breakdown_json(self):
+        collector = self._collector()
+        buffer = io.StringIO()
+        breakdown_to_json(collector, buffer)
+        payload = json.loads(buffer.getvalue())
+        assert set(payload) == {"read", "write"}
+        assert payload["write"]["p50"]["fn"] > 0
+
+
+class TestPatterns:
+    DISK = 64 * 1024 * 1024
+
+    def test_sequential_is_monotonic_then_wraps(self):
+        pattern = SequentialPattern(self.DISK)
+        offsets = [pattern.next_offset(BLOCK_SIZE) for _ in range(5)]
+        assert offsets == [i * BLOCK_SIZE for i in range(5)]
+        pattern_end = SequentialPattern(self.DISK, start_offset=self.DISK - BLOCK_SIZE)
+        assert pattern_end.next_offset(BLOCK_SIZE) == self.DISK - BLOCK_SIZE
+        assert pattern_end.next_offset(BLOCK_SIZE) == 0  # wrapped
+
+    def test_uniform_in_range_and_aligned(self):
+        pattern = UniformPattern(self.DISK, random.Random(1))
+        for _ in range(200):
+            offset = pattern.next_offset(16 * 1024)
+            assert offset % BLOCK_SIZE == 0
+            assert 0 <= offset <= self.DISK - 16 * 1024
+
+    def test_zipfian_is_skewed(self):
+        pattern = ZipfianPattern(self.DISK, random.Random(2), theta=0.9)
+        counts: dict = {}
+        for _ in range(5_000):
+            offset = pattern.next_offset(BLOCK_SIZE)
+            counts[offset] = counts.get(offset, 0) + 1
+        top = sorted(counts.values(), reverse=True)
+        # The hottest block gets far more than a uniform share.
+        assert top[0] > 5_000 / len(counts) * 5
+
+    def test_zipfian_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianPattern(self.DISK, random.Random(1), theta=1.5)
+
+    def test_strided_steps_by_stride(self):
+        pattern = StridedPattern(self.DISK, stride_blocks=4)
+        a = pattern.next_offset(BLOCK_SIZE)
+        b = pattern.next_offset(BLOCK_SIZE)
+        assert b - a == 4 * BLOCK_SIZE
+
+    def test_io_too_large_rejected(self):
+        pattern = UniformPattern(BLOCK_SIZE, random.Random(1))
+        with pytest.raises(ValueError):
+            pattern.next_offset(2 * BLOCK_SIZE)

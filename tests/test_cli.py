@@ -1,0 +1,31 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Luna to Solar" in out
+
+    def test_no_command_defaults_to_info(self, capsys):
+        assert main([]) == 0
+        assert "stacks" in capsys.readouterr().out
+
+    def test_latency_breakdown(self, capsys):
+        assert main(["latency", "--stack", "luna", "--size-kb", "4"]) == 0
+        out = capsys.readouterr().out
+        for component in ("sa", "fn", "bn", "ssd"):
+            assert component in out
+
+    def test_bad_stack_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["latency", "--stack", "quic"])
+
+    def test_failover_solar_zero_hangs(self, capsys):
+        assert main(["failover", "--stack", "solar"]) == 0
+        out = capsys.readouterr().out
+        assert "0 hung" in out

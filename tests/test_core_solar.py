@@ -1,0 +1,388 @@
+"""Tests for the SOLAR core: headers, tables, pipeline, multipath, HPCC,
+CRC aggregation, and the protocol engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AddrEntry,
+    AddrTable,
+    CrcAggregator,
+    EbsHeader,
+    HpccCongestionControl,
+    MatchActionTable,
+    MultipathManager,
+    PATH_PORT_BASE,
+    Pipeline,
+    PipelineContext,
+    RpcHeader,
+    Stage,
+    TableFullError,
+    aggregate_payload_check,
+    data_packet_bytes,
+    table3_specs,
+    xor_aggregate,
+)
+from repro.core.pipeline import MatchActionStage
+from repro.net.packet import IntRecord
+from repro.profiles import DEFAULT
+from repro.sim import MS, Simulator
+from repro.storage.crc import crc32, crc32_raw
+
+
+class TestHeaders:
+    def test_one_block_packet_fits_jumbo_frame(self):
+        # §4.4: 4KB block + headers must fit a 9K jumbo frame.
+        total = data_packet_bytes(4096) + DEFAULT.network.header_overhead_bytes
+        assert total <= DEFAULT.network.mtu_bytes
+        # ...but NOT a standard 1500B frame: jumbo is a hard requirement.
+        assert total > DEFAULT.network.standard_mtu_bytes
+
+    def test_ebs_header_validation(self):
+        with pytest.raises(ValueError):
+            EbsHeader("format", "vd", "seg", 0, 4096)
+        with pytest.raises(ValueError):
+            EbsHeader("write_block", "vd", "seg", -1, 4096)
+
+    def test_rpc_header_pkt_range(self):
+        RpcHeader(1, 0, 1)
+        with pytest.raises(ValueError):
+            RpcHeader(1, 3, 3)
+
+
+class TestMatchActionTables:
+    def test_capacity_enforced(self):
+        table = MatchActionTable("t", 2)
+        table.insert("a", 1)
+        table.insert("b", 2)
+        with pytest.raises(TableFullError):
+            table.insert("c", 3)
+
+    def test_update_in_place_allowed_at_capacity(self):
+        table = MatchActionTable("t", 1)
+        table.insert("a", 1)
+        table.insert("a", 2)
+        assert table.lookup("a") == 2
+
+    def test_hit_miss_counters(self):
+        table = MatchActionTable("t", 4)
+        table.insert("k", "v")
+        table.lookup("k")
+        table.lookup("nope")
+        assert table.hits == 1 and table.misses == 1
+
+    def test_addr_table_consume_removes(self):
+        addr = AddrTable(16)
+        addr.install(AddrEntry(1, 0, 0x1000, 4096, "vd", 0))
+        assert addr.consume(1, 0) is not None
+        assert addr.consume(1, 0) is None  # duplicates see a miss
+
+    def test_addr_double_install_rejected(self):
+        addr = AddrTable(16)
+        addr.install(AddrEntry(1, 0, 0, 4096, "vd", 0))
+        with pytest.raises(ValueError):
+            addr.install(AddrEntry(1, 0, 0, 4096, "vd", 0))
+
+    def test_addr_capacity_is_bram_bound(self):
+        addr = AddrTable(2)
+        addr.install(AddrEntry(1, 0, 0, 4096, "vd", 0))
+        addr.install(AddrEntry(1, 1, 0, 4096, "vd", 1))
+        with pytest.raises(TableFullError):
+            addr.install(AddrEntry(1, 2, 0, 4096, "vd", 2))
+
+
+class TestPipeline:
+    def _pipeline(self):
+        table = MatchActionTable("Block", 8)
+        table.insert(("vd", 0), "segment-0")
+        stages = [
+            MatchActionStage(
+                "Block", table, lambda c: ("vd", c.require("idx")),
+                lambda c, v: c.fields.__setitem__("segment", v),
+            ),
+            Stage("CRC", lambda c: c.fields.__setitem__("crc", True)),
+        ]
+        return Pipeline("test", stages)
+
+    def test_stages_run_in_order(self):
+        p = self._pipeline()
+        ctx = p.process(PipelineContext(fields={"idx": 0}))
+        assert ctx.executed == ["Block", "CRC"]
+        assert ctx.fields["segment"] == "segment-0"
+
+    def test_miss_drops_and_short_circuits(self):
+        p = self._pipeline()
+        ctx = p.process(PipelineContext(fields={"idx": 9}))
+        assert ctx.dropped is not None
+        assert "CRC" not in ctx.executed
+        assert p.packets_dropped == 1
+
+    def test_missing_field_raises_with_context(self):
+        p = self._pipeline()
+        with pytest.raises(KeyError, match="idx"):
+            p.process(PipelineContext())
+
+    def test_duplicate_stage_names_rejected(self):
+        s = Stage("X", lambda c: None)
+        with pytest.raises(ValueError):
+            Pipeline("p", [s, Stage("X", lambda c: None)])
+
+    def test_table3_resource_specs(self):
+        specs = table3_specs()
+        # Table 3's reported numbers.
+        assert specs["Addr"].lut_pct == 5.1 and specs["Addr"].bram_pct == 8.1
+        assert specs["Block"].bram_pct == 8.6
+        assert specs["CRC"].bram_pct == 0.0
+        total_lut = sum(s.lut_pct for s in specs.values())
+        total_bram = sum(s.bram_pct for s in specs.values())
+        assert total_lut == pytest.approx(8.5)
+        # Table 3 prints 18.2% total; its own components sum to 18.0
+        # (the paper rounds) — accept either.
+        assert total_bram == pytest.approx(18.2, abs=0.25)
+
+    def test_table3_scales_with_capacity(self):
+        specs = table3_specs(addr_capacity=32_768)
+        assert specs["Addr"].bram_pct == pytest.approx(16.2)
+
+
+class TestHpcc:
+    def _cc(self):
+        return HpccCongestionControl(base_rtt_ns=16_000, mtu_bytes=9000, line_gbps=25.0)
+
+    def _record(self, ts, queue=0, tx=0, gbps=25.0, switch="s1"):
+        return IntRecord(switch, ts, queue, tx, gbps)
+
+    def test_window_starts_at_bdp(self):
+        cc = self._cc()
+        assert cc.window_bytes == pytest.approx(cc.bdp_bytes)
+
+    def test_idle_path_grows_window(self):
+        cc = self._cc()
+        w0 = cc.window_bytes
+        # Two ACKs so tx-rate deltas exist; idle link → low utilization.
+        cc.on_ack([self._record(1_000, queue=0, tx=1_000)], 1_000)
+        w = cc.on_ack([self._record(17_000, queue=0, tx=2_000)], 17_000)
+        assert w > w0
+
+    def test_congested_queue_shrinks_window(self):
+        cc = self._cc()
+        bdp = cc.bdp_bytes
+        cc.on_ack([self._record(1_000, queue=0, tx=10_000)], 1_000)
+        w = cc.on_ack(
+            [self._record(2_000, queue=10 * bdp, tx=20_000)], 2_000
+        )
+        assert w < bdp
+
+    def test_window_never_below_mtu(self):
+        cc = self._cc()
+        for i in range(10):
+            cc.on_ack([self._record(1_000 * (i + 1), queue=10**9, tx=10**8 * i)],
+                      1_000 * (i + 1))
+        assert cc.window_bytes >= cc.mtu_bytes
+
+    def test_timeout_halves(self):
+        cc = self._cc()
+        w0 = cc.window_bytes
+        assert cc.on_timeout() == pytest.approx(max(cc.mtu_bytes, w0 / 2))
+
+    def test_utilization_uses_max_hop(self):
+        def run(b_queue):
+            cc = self._cc()
+            cc.on_ack([self._record(1_000, 0, 100, switch="a"),
+                       self._record(1_000, 0, 100, switch="b")], 1_000)
+            cc.on_ack([self._record(2_000, 0, 200, switch="a"),
+                       self._record(2_000, b_queue, 200, switch="b")], 2_000)
+            return cc.window_bytes
+
+        clean = run(0)
+        congested = run(20 * self._cc().bdp_bytes)
+        assert congested < clean  # the worst hop governs the window
+
+
+class TestMultipath:
+    def _manager(self, sim=None, num_paths=4):
+        sim = sim or Simulator(seed=1)
+        return sim, MultipathManager(sim, DEFAULT.solar, 16_000, 9000, 25.0,
+                                     num_paths=num_paths)
+
+    def test_default_four_paths(self):
+        _sim, m = self._manager(num_paths=None)
+        assert len(m.paths) == DEFAULT.solar.num_paths == 4
+
+    def test_paths_have_distinct_ports(self):
+        _sim, m = self._manager()
+        ports = {p.path_id for p in m.paths}
+        assert len(ports) == 4 and min(ports) == PATH_PORT_BASE
+
+    def test_pick_prefers_low_rtt(self):
+        _sim, m = self._manager()
+        m.paths[2].srtt_ns = 1_000.0
+        assert m.pick(4096) is m.paths[2]
+
+    def test_pick_skips_full_windows(self):
+        _sim, m = self._manager()
+        for p in m.paths[:3]:
+            p.inflight_bytes = 10**9
+        assert m.pick(4096) is m.paths[3]
+
+    def test_pick_returns_none_when_all_windows_full(self):
+        _sim, m = self._manager()
+        for p in m.paths:
+            p.inflight_bytes = 10**9
+        assert m.pick(4096) is None
+
+    def test_consecutive_timeouts_fail_path(self):
+        sim, m = self._manager()
+        path = m.paths[0]
+        for _ in range(DEFAULT.solar.path_failure_timeouts - 1):
+            assert m.on_timeout(path, 4096) is False
+        assert m.on_timeout(path, 4096) is True
+        assert not path.healthy(sim.now)
+        assert m.path_shifts == 1
+
+    def test_ack_resets_timeout_streak(self):
+        sim, m = self._manager()
+        path = m.paths[0]
+        m.on_timeout(path, 4096)
+        m.on_ack(path, sim.now, 4096, [], seq=0)
+        assert path.consecutive_timeouts == 0
+
+    def test_failed_path_recovers_after_probation(self):
+        sim, m = self._manager()
+        path = m.paths[0]
+        for _ in range(DEFAULT.solar.path_failure_timeouts):
+            m.on_timeout(path, 4096)
+        assert not path.healthy(sim.now)
+        sim.run(until=sim.now + DEFAULT.solar.path_probation_ns + 1)
+        assert path.healthy(sim.now)
+
+    def test_all_failed_still_returns_a_path(self):
+        sim, m = self._manager()
+        for path in m.paths:
+            for _ in range(DEFAULT.solar.path_failure_timeouts):
+                m.on_timeout(path, 4096)
+        assert m.pick(4096) is not None  # probes the least-recently-failed
+
+    def test_best_alternative_avoids_given_path(self):
+        _sim, m = self._manager()
+        alt = m.best_alternative(m.paths[0], 4096)
+        assert alt is not m.paths[0]
+
+    def test_srtt_ewma(self):
+        sim, m = self._manager()
+        path = m.paths[0]
+        before = path.srtt_ns
+        m.on_ack(path, sim.now - 100_000, 4096, [], seq=0)  # rtt = 100us
+        assert before < path.srtt_ns < 100_000
+
+
+class TestCrcAggregation:
+    def test_xor_aggregate_detects_any_single_corruption(self):
+        crcs = [0x11111111, 0x22222222, 0x33333333]
+        agg = CrcAggregator()
+        assert agg.check(crcs, list(crcs)).ok
+        bad = list(crcs)
+        bad[1] ^= 0x40
+        assert not agg.check(bad, crcs).ok
+        assert agg.mismatches == 1
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CrcAggregator().check([1, 2], [1])
+
+    @given(st.lists(st.binary(min_size=64, max_size=64), min_size=1, max_size=8))
+    @settings(max_examples=30)
+    def test_payload_identity_property(self, blocks):
+        # CRC_raw(A ^ B ^ ...) == CRC_raw(A) ^ CRC_raw(B) ^ ... (§4.5)
+        assert aggregate_payload_check(blocks, [crc32_raw(b) for b in blocks])
+
+    def test_payload_identity_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            aggregate_payload_check([b"ab", b"abc"], [0, 0])
+
+    def test_segment_level_check(self):
+        import zlib
+
+        blocks = [bytes([i]) * 256 for i in range(4)]
+        agg = CrcAggregator()
+        expected = zlib.crc32(b"".join(blocks))
+        assert agg.check_segment([crc32(b) for b in blocks], 256, expected)
+        assert not agg.check_segment([crc32(b) for b in blocks], 256, expected ^ 1)
+
+    def test_localize_finds_corrupted_block(self):
+        blocks = [bytes([i]) * 128 for i in range(4)]
+        crcs = [crc32(b) for b in blocks]
+        corrupted = list(blocks)
+        corrupted[2] = b"\xff" + corrupted[2][1:]
+        agg = CrcAggregator()
+        assert agg.localize(corrupted, crcs) == [2]
+
+    def test_check_cost_is_lightweight(self):
+        agg = CrcAggregator()
+        # Aggregate check over a 64-block I/O costs ~2us of CPU,
+        # vs ~90us to CRC 64 x 4KB in software.
+        assert agg.check_cost_ns(64) < 3_000
+        assert agg.recompute_cost_ns(64 * 4096) > 50_000
+
+    def test_xor_aggregate_helper(self):
+        assert xor_aggregate([0xF0F0, 0x0F0F]) == 0xFFFF
+        assert xor_aggregate([]) == 0
+
+
+class TestPathRotation:
+    """Path re-keying: the escape hatch for shared failure points."""
+
+    def _manager(self):
+        sim = Simulator(seed=3)
+        return sim, MultipathManager(sim, DEFAULT.solar, 16_000, 9000, 25.0,
+                                     num_paths=2)
+
+    def test_rotation_assigns_fresh_port(self):
+        sim, m = self._manager()
+        path = m.paths[0]
+        old_port = path.path_id
+        for _ in range(DEFAULT.solar.path_failure_timeouts):
+            m.on_timeout(path, 4096)
+        assert path.path_id != old_port
+        assert m.path_rotations == 1
+        # Ports never collide with live paths.
+        assert path.path_id not in {p.path_id for p in m.paths if p is not path}
+
+    def test_rotation_resets_transport_state(self):
+        sim, m = self._manager()
+        path = m.paths[0]
+        path.inflight_bytes = 99_999
+        path.outstanding[7] = object()
+        path.next_seq = 42
+        for _ in range(DEFAULT.solar.path_failure_timeouts):
+            m.on_timeout(path, 4096)
+        assert path.inflight_bytes == 0
+        assert path.outstanding == {}
+        assert path.next_seq == 0
+        assert path.srtt_ns == float(m.base_rtt_ns)
+
+    def test_rotated_path_usable_after_brief_backoff(self):
+        sim, m = self._manager()
+        path = m.paths[0]
+        for _ in range(DEFAULT.solar.path_failure_timeouts):
+            m.on_timeout(path, 4096)
+        assert not path.healthy(sim.now)
+        sim.run(until=sim.now + DEFAULT.solar.min_rto_ns + 1)
+        assert path.healthy(sim.now)  # far sooner than full probation
+
+    def test_rotation_can_be_disabled(self):
+        from dataclasses import replace
+
+        sim = Simulator(seed=3)
+        profile = replace(DEFAULT.solar, rotate_failed_paths=False)
+        m = MultipathManager(sim, profile, 16_000, 9000, 25.0, num_paths=2)
+        path = m.paths[0]
+        old_port = path.path_id
+        for _ in range(profile.path_failure_timeouts):
+            m.on_timeout(path, 4096)
+        assert path.path_id == old_port
+        assert not path.healthy(sim.now)
+        # Benched for the full probation window instead.
+        sim.run(until=sim.now + profile.min_rto_ns + 1)
+        assert not path.healthy(sim.now)

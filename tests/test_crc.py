@@ -1,0 +1,124 @@
+"""Tests for CRC32 arithmetic — the foundation of SOLAR's integrity check."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.crc import (
+    crc32,
+    crc32_combine,
+    crc32_of_concat,
+    crc32_raw,
+    crc32_update,
+    crc32_xor_identity_offset,
+    xor_bytes,
+)
+
+
+class TestStandardCrc32:
+    def test_matches_zlib_on_known_vectors(self):
+        for data in (b"", b"a", b"123456789", b"\x00" * 4096, bytes(range(256))):
+            assert crc32(data) == zlib.crc32(data)
+
+    def test_check_value(self):
+        # The canonical CRC-32 check value.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_incremental_update_equals_one_shot(self):
+        data = b"hello world, this is a block"
+        crc_partial = crc32(data[10:], crc32(data[:10]))
+        # zlib-style chaining: crc32(rest, crc32(head)).
+        assert crc_partial == crc32(data)
+
+    @given(st.binary(min_size=0, max_size=2048))
+    @settings(max_examples=60)
+    def test_matches_zlib_property(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    @given(st.binary(min_size=1, max_size=512), st.integers(0, 4095))
+    @settings(max_examples=40)
+    def test_single_bit_flip_always_detected(self, data, bit_seed):
+        from repro.faults.fpga_errors import flip_bit
+
+        flipped = flip_bit(data, bit_seed)
+        assert flipped != data
+        assert crc32(flipped) != crc32(data)
+
+
+class TestLinearCrc32:
+    @given(st.integers(1, 256).flatmap(
+        lambda n: st.tuples(st.binary(min_size=n, max_size=n),
+                            st.binary(min_size=n, max_size=n))))
+    @settings(max_examples=60)
+    def test_xor_linearity(self, pair):
+        a, b = pair
+        assert crc32_raw(xor_bytes(a, b)) == crc32_raw(a) ^ crc32_raw(b)
+
+    def test_zero_message_has_zero_raw_crc(self):
+        for n in (0, 1, 64, 4096):
+            assert crc32_raw(bytes(n)) == 0
+
+    def test_standard_crc_is_affine_not_linear(self):
+        a, b = b"\x01" * 16, b"\x02" * 16
+        offset = crc32_xor_identity_offset(16)
+        assert crc32(xor_bytes(a, b)) == crc32(a) ^ crc32(b) ^ offset
+
+    def test_raw_vs_standard_relationship(self):
+        # crc32(x) == crc32_raw(x) ^ crc32(zeros(len(x)))
+        data = b"solar-block-payload!" * 10
+        assert crc32(data) == crc32_raw(data) ^ crc32(bytes(len(data)))
+
+    def test_xor_bytes_length_mismatch(self):
+        with pytest.raises(ValueError):
+            xor_bytes(b"ab", b"abc")
+
+
+class TestCrc32Combine:
+    @given(st.binary(min_size=0, max_size=600), st.binary(min_size=0, max_size=600))
+    @settings(max_examples=60)
+    def test_combine_matches_concatenation(self, a, b):
+        assert crc32_combine(crc32(a), crc32(b), len(b)) == zlib.crc32(a + b)
+
+    def test_combine_zero_length_is_identity(self):
+        assert crc32_combine(0xDEADBEEF, 0x12345678, 0) == 0xDEADBEEF
+
+    def test_combine_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            crc32_combine(0, 0, -1)
+
+    def test_of_concat_over_equal_blocks(self):
+        import os
+
+        blocks = [os.urandom(128) for _ in range(5)]
+        expected = zlib.crc32(b"".join(blocks))
+        assert crc32_of_concat([crc32(b) for b in blocks], 128) == expected
+
+    def test_of_concat_empty_iterable(self):
+        assert crc32_of_concat([], 4096) == 0
+
+    def test_of_concat_single_block(self):
+        data = b"only-one"
+        assert crc32_of_concat([crc32(data)], len(data)) == crc32(data)
+
+    def test_combine_associativity(self):
+        a, b, c = b"xx" * 30, b"yy" * 40, b"zz" * 50
+        left = crc32_combine(crc32_combine(crc32(a), crc32(b), len(b)), crc32(c), len(c))
+        right = crc32_combine(crc32(a), crc32_combine(crc32(b), crc32(c), len(c)),
+                              len(b) + len(c))
+        assert left == right == zlib.crc32(a + b + c)
+
+
+class TestUpdateRegister:
+    def test_update_from_zero_is_raw(self):
+        data = b"register-check"
+        assert crc32_update(0, data) == crc32_raw(data)
+
+    def test_update_linearity_in_init(self):
+        # crc_update(i, m) == crc_update(i, 0^n) ^ crc_update(0, m)
+        data = b"\xaa\xbb\xcc\xdd" * 8
+        init = 0x1337BEEF
+        assert crc32_update(init, data) == (
+            crc32_update(init, bytes(len(data))) ^ crc32_update(0, data)
+        )

@@ -1,0 +1,98 @@
+"""Unit-level tests for the probing extension and edge backend adapters,
+complementing the end-to-end coverage in test_extensions.py."""
+
+import pytest
+
+from repro.core.multipath import MultipathManager
+from repro.core.probing import PROBE_BYTES, PathProber
+from repro.ebs import DeploymentSpec, EbsDeployment
+from repro.ebs.edge import LocalChunkBackend
+from repro.host.server import StorageServer
+from repro.net import ClosTopology, Endpoint, PodSpec
+from repro.profiles import BLOCK_SIZE, DEFAULT
+from repro.sim import MS, Simulator
+from repro.storage.block import DataBlock
+from repro.storage.chunk_server import ChunkServer
+from repro.storage.segment_table import SegmentTable
+from repro.transport.udp import DatagramSocket
+
+
+class TestProberUnits:
+    def _setup(self):
+        sim = Simulator(seed=2)
+        topo = ClosTopology(sim, DEFAULT.network,
+                            [PodSpec("cp", 1, 2), PodSpec("sp", 1, 2)])
+        socket = DatagramSocket(sim, topo.hosts["cp/r0/h0"], "solar")
+        # A deaf UDP stack at the target: probes arrive and are silently
+        # dropped (no SERVER_PORT binding), as on a host without SOLAR.
+        DatagramSocket(sim, topo.hosts["sp/r0/h0"], "solar")
+        manager = MultipathManager(sim, DEFAULT.solar, 16_000, 9000, 25.0)
+        prober = PathProber(sim, socket, "sp/r0/h0", 7100, manager,
+                            interval_ns=1 * MS)
+        return sim, topo, socket, manager, prober
+
+    def test_double_start_rejected(self):
+        _sim, _t, _s, _m, prober = self._setup()
+        prober.start()
+        with pytest.raises(RuntimeError):
+            prober.start()
+
+    def test_stop_cancels_ticks(self):
+        sim, _t, _s, _m, prober = self._setup()
+        prober.start()
+        sim.run(until=3 * MS)
+        sent_before = prober.probes_sent
+        prober.stop()
+        sim.run(until=20 * MS)
+        assert prober.probes_sent == sent_before
+
+    def test_unanswered_probes_accumulate_losses(self):
+        sim, topo, _s, manager, prober = self._setup()
+        # No server listening on 7100 anywhere: probes vanish.
+        prober.start()
+        sim.run(until=10 * MS)
+        assert prober.probes_sent > 0
+        assert prober.echoes_received == 0
+        assert prober.paths_failed_by_probe > 0
+
+    def test_probe_packets_are_tiny(self):
+        assert PROBE_BYTES <= 128  # probing must be ~free
+
+
+class TestLocalChunkBackend:
+    def _backend(self):
+        sim = Simulator(seed=4)
+        server = StorageServer(sim, Endpoint(sim, "c0"), "chunk")
+        chunk = ChunkServer(sim, server, DEFAULT.ssd)
+        table = SegmentTable()
+        segments = table.provision("vd", 4 * 1024 * 1024, ["c0"],
+                                   ["c0", "c1", "c2"])
+        return sim, LocalChunkBackend(sim, chunk), chunk, segments[0]
+
+    def test_write_goes_to_own_chunk_only(self):
+        sim, backend, chunk, segment = self._backend()
+        block = DataBlock("vd", 0, BLOCK_SIZE, b"\x99" * BLOCK_SIZE)
+        done = []
+        backend.handle_write(segment, block, block.crc,
+                             lambda ok, replies: done.append((ok, replies)))
+        sim.run()
+        assert done and done[0][0] is True
+        assert len(chunk.store) == 1  # exactly one copy: client replicates
+
+    def test_read_returns_written_data(self):
+        sim, backend, chunk, segment = self._backend()
+        payload = b"\x77" * BLOCK_SIZE
+        block = DataBlock("vd", 3, BLOCK_SIZE, payload)
+        backend.handle_write(segment, block, block.crc, lambda ok, r: None)
+        sim.run()
+        got = []
+        backend.handle_read(segment, "vd", 3, BLOCK_SIZE, got.append)
+        sim.run()
+        assert got[0].data == payload
+
+    def test_reply_has_service_time(self):
+        sim, backend, _chunk, segment = self._backend()
+        got = []
+        backend.handle_read(segment, "vd", 0, BLOCK_SIZE, got.append)
+        sim.run()
+        assert got[0].service_ns > 0

@@ -1,0 +1,25 @@
+"""Smoke test: the quickstart example must run clean (the other examples
+are exercised by their underlying APIs' tests; they run minutes-long
+simulations and are validated manually / in CI's long lane)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestQuickstart:
+    def test_quickstart_runs(self, capsys):
+        runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "write" in out and "read" in out
+        assert "FPGA resources" in out
+
+    def test_all_examples_importable(self):
+        """Every example must at least parse and import its dependencies."""
+        for path in sorted(EXAMPLES.glob("*.py")):
+            source = path.read_text()
+            compile(source, str(path), "exec")
+            assert '"""' in source, f"{path.name} lacks a docstring"
+            assert "def main" in source, f"{path.name} lacks main()"

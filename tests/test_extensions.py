@@ -1,0 +1,161 @@
+"""Tests for the future-work extensions the paper sketches:
+
+* INT-probe-driven explicit path selection (§4.5 roadmap);
+* integrated EBS (SA + block server merged on the DPU) for edge clouds
+  (§4.8 discussion).
+"""
+
+import pytest
+
+from repro.core.probing import PathProber
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.ebs.edge import EdgeReplicator, convert_to_edge
+from repro.profiles import BLOCK_SIZE
+from repro.sim import MS, SECOND
+
+
+def solar_dep(seed=77, **kwargs):
+    dep = EbsDeployment(DeploymentSpec(stack="solar", seed=seed, **kwargs))
+    vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 256 * 1024 * 1024)
+    return dep, vd
+
+
+class TestIntProbing:
+    def test_prober_started_per_server(self):
+        dep, vd = solar_dep(solar_probing_ns=2 * MS)
+        done = []
+        vd.write(0, BLOCK_SIZE, done.append)
+        dep.run(until_ns=50 * MS)
+        client = dep.solar_clients[vd.host_name]
+        assert client._probers  # one per contacted block server
+        prober = next(iter(client._probers.values()))
+        assert prober.probes_sent > 0
+        assert prober.echoes_received > 0
+
+    def test_probe_updates_path_quality(self):
+        dep, vd = solar_dep(solar_probing_ns=1 * MS)
+        done = []
+        vd.write(0, BLOCK_SIZE, done.append)
+        dep.run(until_ns=30 * MS)
+        client = dep.solar_clients[vd.host_name]
+        manager = next(iter(client._paths.values()))
+        # Every path has a fresh RTT estimate from probing, even those
+        # that carried no data.
+        assert all(p.packets_sent > 0 or p.srtt_ns != manager.base_rtt_ns
+                   or p.probed_queue_bytes >= 0 for p in manager.paths)
+
+    def test_probing_detects_dead_path_proactively(self):
+        dep, vd = solar_dep(solar_probing_ns=1 * MS)
+        done = []
+        vd.write(0, BLOCK_SIZE, done.append)
+        # NB: with a prober running the event heap never drains, so every
+        # run() must be time-bounded.
+        dep.run(until_ns=20 * MS)
+        assert done
+        client = dep.solar_clients[vd.host_name]
+        prober = next(iter(client._probers.values()))
+        # Kill the compute-side ToR pair entirely: all probes die.
+        for sw in dep.topology.switches_by_tier("spine"):
+            sw.set_up(False)
+        dep.run(until_ns=dep.sim.now + 100 * MS)
+        assert prober.paths_failed_by_probe > 0
+
+    def test_selection_prefers_uncongested_probed_path(self):
+        dep, vd = solar_dep()
+        client = dep.solar_clients[vd.host_name]
+        manager = client.paths_to("sp/r0/h0")
+        for p in manager.paths:
+            p.srtt_ns = 10_000.0
+        manager.paths[0].probed_queue_bytes = 0
+        for p in manager.paths[1:]:
+            p.probed_queue_bytes = 500_000  # deep probed queues
+        assert manager.pick(4096) is manager.paths[0]
+
+    def test_probing_survives_under_failure_with_io(self):
+        """End to end: probing on, blackhole injected, zero hangs."""
+        from repro.faults import IoHangMonitor
+        from repro.net.failures import switch_blackhole
+
+        dep, vd = solar_dep(seed=79, solar_probing_ns=1 * MS)
+        monitor = IoHangMonitor(dep.sim, threshold_ns=1 * SECOND)
+        scenario = switch_blackhole("tor", 1.0)
+        dep.sim.schedule_at(10 * MS, scenario.apply, dep.topology)
+        count = [0]
+
+        def issue() -> None:
+            if dep.sim.now > 400 * MS:
+                return
+            io = vd.write((count[0] % 500) * 4096, 4096, lambda io: None)
+            monitor.watch(io)
+            count[0] += 1
+            dep.sim.schedule(2 * MS, issue)
+
+        issue()
+        dep.run(until_ns=2 * SECOND)
+        assert monitor.watched > 100
+        assert monitor.hangs == 0
+
+
+class TestEdgeIntegration:
+    def _edge(self, seed=88):
+        dep, vd = solar_dep(seed=seed)
+        convert_to_edge(dep)
+        return dep, vd
+
+    def test_conversion_swaps_agents(self):
+        dep, vd = self._edge()
+        assert isinstance(dep.agents[vd.host_name], EdgeReplicator)
+
+    def test_write_and_read_complete(self):
+        dep, vd = self._edge()
+        done = []
+        vd.write(0, 4 * BLOCK_SIZE, done.append, data=b"\x11" * (4 * BLOCK_SIZE))
+        dep.run()
+        vd.read(0, 4 * BLOCK_SIZE, done.append)
+        dep.run()
+        assert len(done) == 2 and all(io.trace.ok for io in done)
+
+    def test_write_replicates_to_three_chunks(self):
+        dep, vd = self._edge()
+        done = []
+        vd.write(0, BLOCK_SIZE, done.append, data=b"\x22" * BLOCK_SIZE)
+        dep.run()
+        holders = [c for c in dep.chunk_servers.values() if c.store]
+        assert len(holders) == 3
+        for chunk in holders:
+            (data, _crc), = chunk.store.values()
+            assert data == b"\x22" * BLOCK_SIZE
+
+    def test_no_block_server_involved(self):
+        dep, vd = self._edge()
+        done = []
+        vd.write(0, BLOCK_SIZE, done.append)
+        dep.run()
+        assert all(bs.writes == 0 for bs in dep.block_servers.values())
+
+    def test_edge_write_faster_than_standard(self):
+        """Removing the block-server hop + BN transition must show up as
+        lower write latency (the §4.8 motivation)."""
+        std_dep, std_vd = solar_dep(seed=88)
+        done = []
+        std_vd.write(0, BLOCK_SIZE, done.append)
+        std_dep.run()
+        standard_ns = done[0].trace.total_ns
+
+        edge_dep, edge_vd = self._edge(seed=88)
+        done2 = []
+        edge_vd.write(0, BLOCK_SIZE, done2.append)
+        edge_dep.run()
+        assert done2[0].trace.total_ns < standard_ns
+
+    def test_edge_conversion_requires_solar(self):
+        dep = EbsDeployment(DeploymentSpec(stack="luna", seed=1))
+        with pytest.raises(ValueError):
+            convert_to_edge(dep)
+
+    def test_bn_component_is_zero(self):
+        dep, vd = self._edge()
+        done = []
+        vd.write(0, BLOCK_SIZE, done.append)
+        dep.run()
+        assert done[0].trace.components["bn"] == 0

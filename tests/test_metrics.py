@@ -1,0 +1,168 @@
+"""Tests for metrics: latency stats, traces, time series."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    Counter,
+    IoTrace,
+    LatencyStats,
+    TimeSeries,
+    TraceCollector,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_endpoints(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 100
+
+    def test_median_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        assert percentile([7], 95) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.integers(0, 10**6), min_size=1, max_size=200),
+           st.floats(0, 100))
+    @settings(max_examples=50)
+    def test_bounded_by_extremes(self, values, p):
+        values.sort()
+        result = percentile(values, p)
+        assert values[0] <= result <= values[-1]
+
+    @given(st.lists(st.integers(0, 10**6), min_size=2, max_size=100))
+    @settings(max_examples=30)
+    def test_monotone_in_p(self, values):
+        values.sort()
+        ps = [percentile(values, p) for p in (10, 50, 90, 99)]
+        assert all(a <= b for a, b in zip(ps, ps[1:]))
+
+
+class TestLatencyStats:
+    def test_summary_units(self):
+        stats = LatencyStats("t")
+        stats.extend([1_000, 2_000, 3_000])
+        summary = stats.summary_us()
+        assert summary["mean_us"] == 2.0
+        assert summary["count"] == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats().record(-1)
+
+    def test_mean_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyStats("x").mean()
+
+    def test_counter(self):
+        c = Counter("ios")
+        c.add(10)
+        assert c.per_second(2_000_000_000) == 5.0
+        with pytest.raises(ValueError):
+            c.add(-1)
+
+
+class TestIoTrace:
+    def _trace(self):
+        return IoTrace(1, "write", 4096, submit_ns=100)
+
+    def test_component_accumulation(self):
+        t = self._trace()
+        t.add("fn", 10)
+        t.add("fn", 5)
+        assert t.components["fn"] == 15
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(KeyError):
+            self._trace().add("gpu", 1)
+
+    def test_total_requires_completion(self):
+        t = self._trace()
+        with pytest.raises(ValueError):
+            _ = t.total_ns
+        t.complete(600)
+        assert t.total_ns == 500
+
+    def test_unattributed(self):
+        t = self._trace()
+        t.add("sa", 100)
+        t.complete(600)
+        assert t.unattributed_ns() == 400
+
+    def test_collector_percentiles(self):
+        collector = TraceCollector()
+        for i, total in enumerate((100, 200, 300)):
+            t = IoTrace(i, "write", 4096, 0)
+            t.add("fn", total)
+            t.complete(total)
+            collector.record(t)
+        assert collector.total_percentile(50) == 200
+        assert collector.component_percentile("fn", 100) == 300
+
+    def test_collector_filters_by_kind(self):
+        collector = TraceCollector()
+        for kind in ("read", "write"):
+            t = IoTrace(1, kind, 4096, 0)
+            t.complete(10)
+            collector.record(t)
+        assert len(collector.completed("read")) == 1
+
+    def test_collector_excludes_failures_by_default(self):
+        collector = TraceCollector()
+        t = IoTrace(1, "write", 4096, 0)
+        t.complete(10, ok=False, error="boom")
+        collector.record(t)
+        assert collector.completed() == []
+        assert len(collector.completed(ok_only=False)) == 1
+
+    def test_incomplete_trace_not_recordable(self):
+        with pytest.raises(ValueError):
+            TraceCollector().record(self._trace())
+
+    def test_breakdown_us(self):
+        collector = TraceCollector()
+        t = IoTrace(1, "write", 4096, 0)
+        t.add("sa", 5_000)
+        t.add("fn", 15_000)
+        t.complete(20_000)
+        collector.record(t)
+        assert collector.breakdown_us(50) == {
+            "sa": 5.0, "fn": 15.0, "bn": 0.0, "ssd": 0.0
+        }
+
+
+class TestTimeSeries:
+    def test_bucketing(self):
+        ts = TimeSeries("iops", bucket_ns=1_000)
+        ts.add(100)
+        ts.add(999)
+        ts.add(1_000)
+        assert ts.buckets() == [(0, 2.0), (1_000, 1.0)]
+
+    def test_rates(self):
+        ts = TimeSeries("iops", bucket_ns=1_000_000_000)
+        for _ in range(500):
+            ts.add(0)
+        assert ts.rates_per_second()[0][1] == 500.0
+
+    def test_total(self):
+        ts = TimeSeries("bytes", bucket_ns=10)
+        ts.add(5, 100.0)
+        ts.add(15, 200.0)
+        assert ts.total() == 300.0
+
+    def test_bucket_width_validated(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x", 0)

@@ -1,0 +1,107 @@
+"""Tests for the calibration profiles and their paper-anchored invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.profiles import (
+    BLOCK_SIZE,
+    DEFAULT,
+    NetworkProfile,
+    Profiles,
+    bytes_time_ns,
+)
+
+
+class TestInvariants:
+    """The relationships the paper states must hold between constants."""
+
+    def test_block_size_is_4k(self):
+        # §2.2: blocks are 4KB, "consistent with SSD's sector size".
+        assert BLOCK_SIZE == 4096
+
+    def test_luna_is_much_cheaper_than_kernel(self):
+        # Table 1: LUNA's per-RPC stack latency and per-packet CPU are
+        # several times below the kernel stack's.
+        assert DEFAULT.kernel_tcp.stack_latency_ns > 5 * DEFAULT.luna.stack_latency_ns
+        assert DEFAULT.kernel_tcp.per_packet_cpu_ns > 3 * DEFAULT.luna.per_packet_cpu_ns
+
+    def test_luna_is_zero_copy(self):
+        # §3.2: zero-copy across SA and RPC.
+        assert DEFAULT.luna.per_byte_cpu_ns == 0.0
+
+    def test_kernel_rto_floor_is_200ms(self):
+        assert DEFAULT.kernel_tcp.min_rto_ns == 200_000_000
+
+    def test_ssd_write_cache_below_nand_read(self):
+        # §2.3: writes land in the cache, "one to two orders of magnitude
+        # faster than kernel TCP"; reads pay NAND.
+        assert DEFAULT.ssd.write_cache_ns < DEFAULT.ssd.nand_read_ns / 3
+        assert DEFAULT.ssd.write_cache_ns < DEFAULT.kernel_tcp.stack_latency_ns * 4
+
+    def test_three_replicas(self):
+        assert DEFAULT.ssd.replicas == 3
+
+    def test_dpu_shape(self):
+        # §4.2: six infrastructure cores, 2x25GE, internal PCIe well under
+        # 100G and under the aggregate Ethernet rate.
+        assert DEFAULT.dpu.cpu_cores == 6
+        assert DEFAULT.dpu.ethernet_ports * DEFAULT.dpu.ethernet_gbps == 50.0
+        assert DEFAULT.pcie.dpu_internal_gbps < 100.0
+
+    def test_jumbo_fits_one_block(self):
+        # §4.4: one 4KB block + headers must fit one jumbo frame.
+        assert DEFAULT.network.mtu_bytes >= BLOCK_SIZE + 256
+
+    def test_solar_cpu_budget_near_150k_iops(self):
+        # §4.8: ~150K IOPS per core → total control CPU per I/O ~6.6us.
+        s = DEFAULT.solar
+        per_io = (s.cpu_issue_critical_ns + s.cpu_issue_async_ns
+                  + s.cpu_complete_critical_ns + s.cpu_complete_async_ns)
+        iops_per_core = 1e9 / per_io
+        assert 120_000 < iops_per_core < 200_000
+
+    def test_solar_four_paths(self):
+        assert DEFAULT.solar.num_paths == 4  # §4.5 "e.g., 4"
+
+    def test_rdma_cliff_at_5000(self):
+        assert DEFAULT.rdma.connection_cliff == 5_000  # §3.1
+
+
+class TestOverrides:
+    def test_field_override(self):
+        p = DEFAULT.with_overrides(network={"access_gbps": 100.0})
+        assert p.network.access_gbps == 100.0
+        assert DEFAULT.network.access_gbps == 25.0  # original untouched
+
+    def test_section_override(self):
+        net = NetworkProfile(access_gbps=10.0)
+        p = DEFAULT.with_overrides(network=net)
+        assert p.network is net
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(AttributeError):
+            DEFAULT.with_overrides(gpu={"x": 1})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            DEFAULT.with_overrides(network={"warp_speed": 9})
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT.network.access_gbps = 1.0  # type: ignore[misc]
+
+
+class TestBytesTime:
+    def test_exact_values(self):
+        assert bytes_time_ns(1250, 10.0) == 1000  # 1250B @ 10G = 1us
+        assert bytes_time_ns(0, 10.0) == 0
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_time_ns(1, 0)
+
+    def test_scales_inversely_with_rate(self):
+        assert bytes_time_ns(9000, 25.0) == pytest.approx(
+            4 * bytes_time_ns(9000, 100.0), rel=0.01
+        )

@@ -1,0 +1,142 @@
+"""Tests for ASCII reporting and trace record/replay."""
+
+import io
+
+import pytest
+
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.metrics.report import (
+    COMPONENT_GLYPHS,
+    collector_chart,
+    render_bar,
+    render_breakdown_chart,
+)
+from repro.sim import MS
+from repro.workloads.replay import (
+    IoRecord,
+    TraceRecorder,
+    load_trace,
+    replay,
+)
+
+
+class TestReport:
+    def test_render_bar_lengths_proportional(self):
+        bar = render_bar({"fn": 20.0, "bn": 10.0, "ssd": 0.0, "sa": 10.0},
+                         scale_us_per_char=10.0, label="x")
+        assert bar.count(COMPONENT_GLYPHS["fn"]) == 2
+        assert bar.count(COMPONENT_GLYPHS["bn"]) == 1
+        assert bar.count(COMPONENT_GLYPHS["sa"]) == 1
+        assert "40.0us" in bar
+
+    def test_scale_validated(self):
+        with pytest.raises(ValueError):
+            render_bar({}, 0.0)
+
+    def test_chart_shared_scale(self):
+        rows = [
+            ("big", {"fn": 100.0, "bn": 0, "ssd": 0, "sa": 0}),
+            ("small", {"fn": 10.0, "bn": 0, "ssd": 0, "sa": 0}),
+        ]
+        chart = render_breakdown_chart(rows, title="t", width=50)
+        lines = chart.strip().split("\n")
+        big = lines[1].count("#")
+        small = lines[2].count("#")
+        assert big == pytest.approx(10 * small, abs=2)
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_breakdown_chart([])
+
+    def test_collector_chart_end_to_end(self):
+        dep = EbsDeployment(DeploymentSpec(stack="luna", seed=3))
+        vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 64 * 1024 * 1024)
+        done = []
+        vd.write(0, 4096, done.append)
+        dep.run()
+        chart = collector_chart({"luna": dep.collector}, "write", 50)
+        assert "luna" in chart and "us" in chart
+
+
+class TestReplay:
+    def _deployment(self):
+        dep = EbsDeployment(DeploymentSpec(stack="solar", seed=5))
+        vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 128 * 1024 * 1024)
+        return dep, vd
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            IoRecord(0, "erase", 0, 4096)
+        with pytest.raises(ValueError):
+            IoRecord(-1, "read", 0, 4096)
+
+    def test_round_trip_through_json(self):
+        dep, _vd = self._deployment()
+        recorder = TraceRecorder(dep.sim)
+        recorder.record("write", 0, 4096)
+        recorder.record("read", 8192, 16384)
+        buffer = io.StringIO()
+        assert recorder.dump(buffer) == 2
+        buffer.seek(0)
+        records = load_trace(buffer)
+        assert records == recorder.records
+
+    def test_corrupt_trace_rejected_with_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            load_trace(io.StringIO('{"at_ns":0,"kind":"read","offset_bytes":0,"size_bytes":4096}\nnot-json\n'))
+
+    def test_replay_reissues_everything(self):
+        dep, vd = self._deployment()
+        records = [
+            IoRecord(i * 100_000, "write" if i % 3 else "read", i * 4096, 4096)
+            for i in range(30)
+        ]
+        result = replay(dep.sim, vd, records)
+        dep.run()
+        assert result.issued == 30
+        assert result.completed == 30
+        assert result.latency.count == 30
+
+    def test_replay_respects_time_scale(self):
+        dep, vd = self._deployment()
+        records = [IoRecord(1 * MS, "write", 0, 4096)]
+        replay(dep.sim, vd, records, time_scale=3.0)
+        first_event = dep.sim.peek_time()
+        assert first_event >= 3 * MS
+
+    def test_replay_clamps_out_of_range_offsets(self):
+        dep, vd = self._deployment()
+        records = [IoRecord(0, "write", 10**12, 4096)]
+        result = replay(dep.sim, vd, records)
+        dep.run()
+        assert result.completed == 1
+
+    def test_time_scale_validated(self):
+        dep, vd = self._deployment()
+        with pytest.raises(ValueError):
+            replay(dep.sim, vd, [], time_scale=0)
+
+    def test_recorded_production_run_replays_identically_shaped(self):
+        """Record a production burst on LUNA, replay it on SOLAR: same I/O
+        population, different latency — the cross-stack methodology of
+        Figure 6."""
+        dep_a = EbsDeployment(DeploymentSpec(stack="luna", seed=8))
+        vd_a = VirtualDisk(dep_a, "vd0", dep_a.compute_host_names()[0],
+                           128 * 1024 * 1024)
+        recorder = TraceRecorder(dep_a.sim)
+        rng = dep_a.sim.rng.stream("rec")
+        for i in range(40):
+            kind = "read" if rng.random() < 0.2 else "write"
+            recorder.record(kind, (i * 7919 % 1000) * 4096, 4096)
+        records = recorder.records
+
+        results = {}
+        for stack in ("luna", "solar"):
+            dep = EbsDeployment(DeploymentSpec(stack=stack, seed=8))
+            vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0],
+                             128 * 1024 * 1024)
+            result = replay(dep.sim, vd, records)
+            dep.run()
+            assert result.completed == 40
+            results[stack] = result.latency.mean()
+        assert results["solar"] < results["luna"]

@@ -1,0 +1,345 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    Delay,
+    MS,
+    SECOND,
+    SimulationError,
+    Simulator,
+    Signal,
+    US,
+    format_ns,
+    ns_from_seconds,
+    seconds_from_ns,
+    spawn,
+)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(300, order.append, "c")
+        sim.schedule(100, order.append, "a")
+        sim.schedule(200, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.schedule(50, order.append, tag)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1234, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1234]
+        assert sim.now == 1234
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(10, fired.append, 1)
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_nested_scheduling_from_callback(self):
+        sim = Simulator()
+        hits = []
+
+        def outer():
+            hits.append(("outer", sim.now))
+            sim.schedule(5, inner)
+
+        def inner():
+            hits.append(("inner", sim.now))
+
+        sim.schedule(10, outer)
+        sim.run()
+        assert hits == [("outer", 10), ("inner", 15)]
+
+    def test_call_soon_runs_at_current_instant(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(7, lambda: sim.call_soon(lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [7]
+
+
+class TestRunControl:
+    def test_run_until_stops_early_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(100, fired.append, "early")
+        sim.schedule(10_000, fired.append, "late")
+        sim.run(until=5_000)
+        assert fired == ["early"]
+        assert sim.now == 5_000
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_run_for_relative_duration(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run_for(50)
+        assert sim.now == 50
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i, lambda: None)
+        processed = sim.run(max_events=4)
+        assert processed == 4
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2, fired.append, 2)
+        sim.run()
+        assert fired == [1]
+        sim.run()  # a fresh run resumes where stop() left off
+        assert fired == [1, 2]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(1, lambda: sim.run())
+            sim.run()
+
+    def test_step_returns_false_when_drained(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_pending_events_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: None)
+        event = sim.schedule(6, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 1
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(5, lambda: None)
+        sim.schedule(9, lambda: None)
+        first.cancel()
+        assert sim.peek_time() == 9
+
+
+class TestSignals:
+    def test_signal_wakes_waiting_process(self):
+        sim = Simulator()
+        signal = Signal("go")
+        seen = []
+
+        def waiter():
+            value = yield signal
+            seen.append((sim.now, value))
+
+        spawn(sim, waiter())
+        sim.schedule(40, signal.fire, "payload")
+        sim.run()
+        assert seen == [(40, "payload")]
+
+    def test_signal_fires_all_waiters(self):
+        sim = Simulator()
+        signal = Signal()
+        seen = []
+
+        def waiter(tag):
+            yield signal
+            seen.append(tag)
+
+        for tag in range(3):
+            spawn(sim, waiter(tag))
+        sim.schedule(1, signal.fire, None)
+        sim.run()
+        assert sorted(seen) == [0, 1, 2]
+
+    def test_already_fired_signal_resumes_immediately(self):
+        sim = Simulator()
+        signal = Signal()
+        signal.fire("cached")
+        got = []
+
+        def waiter():
+            value = yield signal
+            got.append(value)
+
+        spawn(sim, waiter())
+        sim.run()
+        assert got == ["cached"]
+
+    def test_double_fire_rejected(self):
+        signal = Signal("x")
+        signal.fire()
+        with pytest.raises(RuntimeError):
+            signal.fire()
+
+
+class TestProcesses:
+    def test_process_sleeps_for_yielded_ns(self):
+        sim = Simulator()
+        trail = []
+
+        def proc():
+            trail.append(sim.now)
+            yield 100
+            trail.append(sim.now)
+            yield Delay(us=2)
+            trail.append(sim.now)
+
+        spawn(sim, proc())
+        sim.run()
+        assert trail == [0, 100, 2100]
+
+    def test_process_returns_result(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1
+            return 42
+
+        p = spawn(sim, proc())
+        sim.run()
+        assert p.done and p.result == 42
+
+    def test_process_join_gets_return_value(self):
+        sim = Simulator()
+        got = []
+
+        def child():
+            yield 50
+            return "child-done"
+
+        def parent():
+            value = yield spawn(sim, child())
+            got.append((sim.now, value))
+
+        spawn(sim, parent())
+        sim.run()
+        assert got == [(50, "child-done")]
+
+    def test_joining_finished_process_resumes_immediately(self):
+        sim = Simulator()
+
+        def child():
+            yield 1
+            return 7
+
+        c = spawn(sim, child())
+        sim.run()
+        got = []
+
+        def parent():
+            value = yield c
+            got.append(value)
+
+        spawn(sim, parent())
+        sim.run()
+        assert got == [7]
+
+    def test_interrupt_stops_process(self):
+        sim = Simulator()
+        trail = []
+
+        def proc():
+            trail.append("start")
+            yield 1000
+            trail.append("never")
+
+        p = spawn(sim, proc())
+        sim.schedule(10, p.interrupt)
+        sim.run()
+        assert trail == ["start"]
+        assert p.done and p.interrupted
+
+    def test_process_requires_generator(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            spawn(sim, lambda: None)  # type: ignore[arg-type]
+
+    def test_yielding_garbage_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield object()
+
+        spawn(sim, proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+
+class TestRng:
+    def test_streams_are_reproducible(self):
+        a = Simulator(seed=99).rng.stream("x")
+        b = Simulator(seed=99).rng.stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_are_independent_by_name(self):
+        sim = Simulator(seed=99)
+        a = sim.rng.stream("a")
+        b = sim.rng.stream("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = Simulator(seed=1).rng.stream("x")
+        b = Simulator(seed=2).rng.stream("x")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_stream_cached(self):
+        sim = Simulator()
+        assert sim.rng.stream("s") is sim.rng.stream("s")
+
+    def test_fork_gives_independent_registry(self):
+        sim = Simulator(seed=5)
+        fork = sim.rng.fork("trial-1")
+        a = sim.rng.stream("x").random()
+        b = fork.stream("x").random()
+        assert a != b
+
+
+class TestTimeHelpers:
+    def test_constants(self):
+        assert US == 1_000 and MS == 1_000_000 and SECOND == 1_000_000_000
+
+    def test_round_trip(self):
+        assert seconds_from_ns(ns_from_seconds(1.5)) == pytest.approx(1.5)
+
+    def test_format_ns(self):
+        assert format_ns(500) == "500ns"
+        assert format_ns(1500) == "1.500us"
+        assert format_ns(2 * MS) == "2.000ms"
+        assert format_ns(3 * SECOND) == "3.000s"
+        assert format_ns(None) == "∞"
+
+    def test_delay_validation(self):
+        with pytest.raises(ValueError):
+            Delay(-5)

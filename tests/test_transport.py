@@ -1,0 +1,249 @@
+"""Tests for the stream transports (kernel TCP, LUNA, RDMA) and UDP."""
+
+import pytest
+
+from repro.host.cpu import CpuComplex
+from repro.net import ClosTopology, PodSpec
+from repro.profiles import DEFAULT
+from repro.sim import MS, Simulator, US
+from repro.transport import (
+    DatagramSocket,
+    KernelTcpTransport,
+    LunaTransport,
+    RdmaTransport,
+    TransportError,
+    kernel_tcp_config,
+    luna_config,
+    rdma_config,
+)
+
+
+def make_pair(stack_cls, seed=1, same_rack=False, **kwargs):
+    sim = Simulator(seed=seed)
+    pods = [PodSpec("cp", 1, 4, role="compute"), PodSpec("sp", 1, 4, role="storage")]
+    topo = ClosTopology(sim, DEFAULT.network, pods)
+    c_ep = topo.hosts["cp/r0/h0"]
+    s_ep = topo.hosts["cp/r0/h1"] if same_rack else topo.hosts["sp/r0/h0"]
+    client = stack_cls(sim, c_ep, CpuComplex(sim, "c", 4), DEFAULT, **kwargs)
+    server = stack_cls(sim, s_ep, CpuComplex(sim, "s", 8), DEFAULT, **kwargs)
+    return sim, topo, client, server
+
+
+def echo_server(server, response_bytes=128):
+    def handler(payload, exchange, respond):
+        respond(response_bytes, ("echo", payload))
+
+    server.register_handler(handler)
+
+
+def run_rpc(sim, client, server, request_bytes=4096, response_bytes=128):
+    done = []
+    client.call(server, "payload", request_bytes, response_bytes,
+                lambda ex, ok: done.append((ex, ok)))
+    sim.run(until=sim.now + 5_000 * MS)
+    assert done, "rpc never completed"
+    return done[0]
+
+
+class TestBasicRpc:
+    @pytest.mark.parametrize("stack_cls", [KernelTcpTransport, LunaTransport, RdmaTransport])
+    def test_single_rpc_completes(self, stack_cls):
+        sim, _topo, client, server = make_pair(stack_cls)
+        echo_server(server)
+        exchange, ok = run_rpc(sim, client, server)
+        assert ok and exchange.response_payload == ("echo", "payload")
+
+    def test_luna_much_faster_than_kernel(self):
+        latencies = {}
+        for cls, name in ((KernelTcpTransport, "kernel"), (LunaTransport, "luna")):
+            sim, _t, client, server = make_pair(cls)
+            echo_server(server)
+            exchange, _ok = run_rpc(sim, client, server)
+            latencies[name] = exchange.rpc_latency_ns
+        # Table 1a: LUNA cuts single-RPC latency by >80%... our clean-fabric
+        # reproduction lands ≥3.5x; the exact ratio depends on base RTT.
+        assert latencies["kernel"] > 3.5 * latencies["luna"]
+
+    def test_rdma_fastest(self):
+        lat = {}
+        for cls in (LunaTransport, RdmaTransport):
+            sim, _t, client, server = make_pair(cls)
+            echo_server(server)
+            exchange, _ok = run_rpc(sim, client, server)
+            lat[cls.__name__] = exchange.rpc_latency_ns
+        assert lat["RdmaTransport"] <= lat["LunaTransport"]
+
+    def test_large_rpc_segmented(self):
+        sim, _t, client, server = make_pair(LunaTransport)
+        echo_server(server)
+        exchange, ok = run_rpc(sim, client, server, request_bytes=256 * 1024)
+        assert ok
+
+    def test_large_response(self):
+        sim, _t, client, server = make_pair(LunaTransport)
+        echo_server(server, response_bytes=128 * 1024)
+        exchange, ok = run_rpc(sim, client, server, response_bytes=128 * 1024)
+        assert ok and exchange.response_bytes == 128 * 1024
+
+    def test_many_concurrent_rpcs(self):
+        sim, _t, client, server = make_pair(LunaTransport)
+        echo_server(server)
+        done = []
+        for _ in range(64):
+            client.call(server, "x", 4096, 128, lambda ex, ok: done.append(ok))
+        sim.run(until=sim.now + 500 * MS)
+        assert len(done) == 64 and all(done)
+
+    def test_server_time_attributed(self):
+        sim, _t, client, server = make_pair(LunaTransport)
+
+        def slow_handler(payload, exchange, respond):
+            sim.schedule(50 * US, respond, 128, "late")
+
+        server.register_handler(slow_handler)
+        exchange, ok = run_rpc(sim, client, server)
+        assert ok
+        assert exchange.server_time_ns >= 50 * US
+        assert exchange.network_time_ns < exchange.rpc_latency_ns
+
+    def test_double_handler_registration_rejected(self):
+        sim, _t, _client, server = make_pair(LunaTransport)
+        echo_server(server)
+        with pytest.raises(TransportError):
+            server.register_handler(lambda p, e, r: None)
+
+    def test_no_handler_raises(self):
+        sim, _t, client, server = make_pair(LunaTransport)
+        client.call(server, "x", 4096, 128, lambda ex, ok: None)
+        with pytest.raises(TransportError):
+            sim.run(until=sim.now + 100 * MS)
+
+    def test_double_respond_rejected(self):
+        sim, _t, client, server = make_pair(LunaTransport)
+        failures = []
+
+        def handler(payload, exchange, respond):
+            respond(128, "one")
+            try:
+                respond(128, "two")
+            except RuntimeError as exc:
+                failures.append(exc)
+
+        server.register_handler(handler)
+        run_rpc(sim, client, server)
+        assert failures
+
+
+class TestLossRecovery:
+    def test_rpc_survives_random_drops(self):
+        sim, topo, client, server = make_pair(LunaTransport, seed=7)
+        echo_server(server)
+        for sw in topo.switches_by_tier("spine"):
+            sw.set_drop_rate(0.15)
+        done = []
+        for _ in range(10):
+            client.call(server, "x", 16 * 1024, 128, lambda ex, ok: done.append(ok))
+        sim.run(until=sim.now + 3_000 * MS)
+        assert len(done) == 10 and all(done)
+
+    def test_blackhole_stalls_luna_flow(self):
+        """A LUNA connection cannot escape a full blackhole: its fixed
+        5-tuple keeps hashing to the dead path (§3.3)."""
+        sim, topo, client, server = make_pair(LunaTransport, seed=7)
+        echo_server(server)
+        # Blackhole everything at both spines: no path survives.
+        for sw in topo.switches_by_tier("spine"):
+            sw.set_blackhole(1.0)
+        done = []
+        client.call(server, "x", 4096, 128, lambda ex, ok: done.append(ok))
+        sim.run(until=sim.now + 900 * MS)
+        assert done == []  # still stuck after 900ms
+
+    def test_kernel_rto_is_200ms_scale(self):
+        cfg = kernel_tcp_config(DEFAULT)
+        assert cfg.min_rto_ns == 200 * MS  # Linux minimum RTO
+
+    def test_retry_exhaustion_fails_rpc(self):
+        sim, topo, client, server = make_pair(LunaTransport, seed=7)
+        echo_server(server)
+        for sw in topo.switches_by_tier("spine"):
+            sw.set_blackhole(1.0)
+        done = []
+        client.call(server, "x", 4096, 128, lambda ex, ok: done.append(ok))
+        # Run long enough for max_retries RTO doublings to exhaust.
+        sim.run(until=sim.now + 600_000 * MS)
+        assert done == [False]
+
+    def test_luna_pins_connection_to_core(self):
+        cfg = luna_config(DEFAULT)
+        assert cfg.proto == "luna"
+        sim, _t, client, server = make_pair(LunaTransport)
+        echo_server(server)
+        run_rpc(sim, client, server)
+        conn = client._pools[server.endpoint.name][0]
+        assert client.pick_core(conn) is client.pick_core(conn)
+
+
+class TestRdmaScalability:
+    def test_connection_cliff_slows_emission(self):
+        sim, _t, client, server = make_pair(RdmaTransport)
+        echo_server(server)
+        exchange, _ok = run_rpc(sim, client, server, request_bytes=64 * 1024)
+        fast = exchange.rpc_latency_ns
+
+        sim2, _t2, client2, server2 = make_pair(RdmaTransport)
+        echo_server(server2)
+        client2.extra_connections_hint = 50_000  # way past the 5K cliff
+        done = []
+        client2.call(server2, "x", 64 * 1024, 128, lambda ex, ok: done.append(ex))
+        sim2.run(until=sim2.now + 500 * MS)
+        assert done and done[0].rpc_latency_ns > fast * 2
+
+    def test_factor_floors(self):
+        sim, _t, client, _server = make_pair(RdmaTransport)
+        client.extra_connections_hint = 10**9
+        assert client._throughput_factor() == DEFAULT.rdma.cliff_floor
+
+    def test_no_penalty_below_cliff(self):
+        sim, _t, client, _server = make_pair(RdmaTransport)
+        client.extra_connections_hint = 100
+        assert client._throughput_factor() == 1.0
+
+    def test_rdma_mtu_is_4k(self):
+        assert rdma_config(DEFAULT).mss == 4096
+
+
+class TestDatagramSocket:
+    def _sockets(self):
+        sim = Simulator(seed=1)
+        topo = ClosTopology(sim, DEFAULT.network, [PodSpec("p", 1, 2)])
+        a = DatagramSocket(sim, topo.hosts["p/r0/h0"], "udpx")
+        b = DatagramSocket(sim, topo.hosts["p/r0/h1"], "udpx")
+        return sim, a, b
+
+    def test_port_demux(self):
+        sim, a, b = self._sockets()
+        got = []
+        b.bind(9000, got.append)
+        a.send("p/r0/h1", 1234, 9000, 200)
+        sim.run()
+        assert len(got) == 1
+
+    def test_unbound_port_dropped_silently(self):
+        sim, a, b = self._sockets()
+        a.send("p/r0/h1", 1234, 9999, 200)
+        sim.run()  # no crash
+
+    def test_default_handler(self):
+        sim, a, b = self._sockets()
+        got = []
+        b.bind_default(got.append)
+        a.send("p/r0/h1", 1, 2, 100)
+        sim.run()
+        assert got
+
+    def test_double_bind_rejected(self):
+        _sim, a, _b = self._sockets()
+        a.bind(7, lambda p: None)
+        with pytest.raises(ValueError):
+            a.bind(7, lambda p: None)
