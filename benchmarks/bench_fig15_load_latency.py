@@ -9,7 +9,7 @@ tail blow up far beyond the rest, while SOLAR stays close to RDMA
 
 from __future__ import annotations
 
-from common import format_table, once, save_output
+from common import fanout, format_table, once, save_output
 
 from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
 from repro.metrics.stats import LatencyStats
@@ -56,8 +56,11 @@ def probe_run(stack: str, background_iodepth: int) -> LatencyStats:
 
 
 def run_fig15() -> str:
-    light = {s: probe_run(s, background_iodepth=0) for s in STACKS}
-    heavy = {s: probe_run(s, background_iodepth=48) for s in STACKS}
+    # 8 independent (stack, load) deployments — one simulation per point.
+    points = [(s, 0) for s in STACKS] + [(s, 48) for s in STACKS]
+    stats = dict(zip(points, fanout(probe_run, points)))
+    light = {s: stats[(s, 0)] for s in STACKS}
+    heavy = {s: stats[(s, 48)] for s in STACKS}
     sections = []
     for label, data in (("Light load", light), ("Heavy load", heavy)):
         rows = [

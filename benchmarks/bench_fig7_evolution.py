@@ -12,7 +12,7 @@ documented rollout schedule.
 
 from __future__ import annotations
 
-from common import format_table, once, save_output
+from common import fanout, format_table, once, save_output
 
 from repro.ebs import (
     DeploymentSpec,
@@ -45,7 +45,8 @@ def steady_state(stack: str) -> StackSteadyState:
 
 
 def run_fig7() -> str:
-    per_stack = {s: steady_state(s) for s in ("kernel", "luna", "solar")}
+    stacks = ("kernel", "luna", "solar")
+    per_stack = dict(zip(stacks, fanout(steady_state, [(s,) for s in stacks])))
     points = fleet_evolution(per_stack)
     rows = [
         [p.quarter, f"{p.avg_latency_us:.0f}", f"{p.latency_vs_19q1:.2f}",

@@ -14,7 +14,7 @@ in the control plane, independent of client count.
 
 from __future__ import annotations
 
-from common import format_table, once, save_output
+from common import fanout, format_table, once, save_output
 
 from repro.host.cpu import CpuComplex
 from repro.net import ClosTopology, PodSpec
@@ -54,9 +54,15 @@ def throughput_gbps(stack_cls, extra_connections: int) -> float:
 def run_scalability() -> str:
     rows = []
     results: dict = {"luna": [], "rdma": []}
+    points = [
+        (cls, count)
+        for count in CONNECTION_COUNTS
+        for cls in (LunaTransport, RdmaTransport)
+    ]
+    measured = dict(zip(points, fanout(throughput_gbps, points)))
     for count in CONNECTION_COUNTS:
-        luna = throughput_gbps(LunaTransport, count)
-        rdma = throughput_gbps(RdmaTransport, count)
+        luna = measured[(LunaTransport, count)]
+        rdma = measured[(RdmaTransport, count)]
         results["luna"].append(luna)
         results["rdma"].append(rdma)
         rows.append([f"{count:,}", f"{luna:.1f}", f"{rdma:.1f}", "line-rate*"])

@@ -13,17 +13,11 @@ size, decides who hangs) and applies the same seven scenarios.
 
 from __future__ import annotations
 
-from common import format_table, once, save_output
+from common import fanout, format_table, once, save_output
 
 from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
 from repro.faults import IoHangMonitor
-from repro.net.failures import (
-    random_drop,
-    switch_blackhole,
-    switch_failure,
-    switch_reboot,
-    tor_port_failure,
-)
+from repro.net.failures import table2_scenarios
 from repro.sim import MS, SECOND
 
 BLOCKS = (4096, 8192, 16384, 32768)  # 4-32KB
@@ -34,24 +28,28 @@ FAIL_AT = 50 * MS
 #: count to something a Python event loop chews through quickly.
 THINK_NS = 1 * MS
 
+#: The ToR scenarios target the first compute ToR — one of the dual-homed
+#: pair serving this host.
+SAMPLE_HOST = "cp/r0/h0"
 
-def scenario_list(host: str):
-    # The seven rows of Table 2, in order.  The ToR scenarios target the
-    # first compute ToR (index 0) — one of the dual-homed pair.
-    return [
-        ("ToR switch port failure", lambda: tor_port_failure(host)),
-        # Data-plane death, PHYs up: the case that hung LUNA for 216 I/Os.
-        ("ToR switch failure", lambda: switch_failure("tor")),
-        # Crash with links down: ECMP converges for everyone (paper: 0/0).
-        ("Spine switch failure", lambda: switch_failure("spine", link_down=True)),
-        ("Packet drop rate=75%", lambda: random_drop("tor", 0.75)),
-        ("ToR switch reboot/isolation", lambda: switch_reboot("tor", 60 * SECOND)),
-        ("Blackhole in a ToR switch", lambda: switch_blackhole("tor", 0.5)),
-        ("Blackhole in a Spine switch", lambda: switch_blackhole("spine", 0.5)),
-    ]
+#: Display names for the seven rows of Table 2, aligned with the scenario
+#: order of :func:`repro.net.failures.table2_scenarios`.
+SCENARIO_NAMES = (
+    "ToR switch port failure",
+    # Data-plane death, PHYs up: the case that hung LUNA for 216 I/Os.
+    "ToR switch failure",
+    # Crash with links down: ECMP converges for everyone (paper: 0/0).
+    "Spine switch failure",
+    "Packet drop rate=75%",
+    "ToR switch reboot/isolation",
+    "Blackhole in a ToR switch",
+    "Blackhole in a Spine switch",
+)
 
 
-def run_scenario(stack: str, make_scenario) -> int:
+def run_scenario(stack: str, scenario_index: int) -> int:
+    """One Table 2 cell — pure in (stack, scenario_index), so cells fan
+    out across worker processes via ``fanout``."""
     dep = EbsDeployment(DeploymentSpec(
         stack=stack, seed=91,
         compute_racks=1, compute_hosts_per_rack=3,
@@ -64,7 +62,7 @@ def run_scenario(stack: str, make_scenario) -> int:
         for i, host in enumerate(hosts)
     }
     rngs = {host: dep.sim.rng.stream(f"t2/{host}") for host in hosts}
-    scenario = make_scenario()
+    scenario = table2_scenarios(SAMPLE_HOST)[scenario_index]
     dep.sim.schedule_at(FAIL_AT, scenario.apply, dep.topology)
 
     def issue(host: str, slot: int) -> None:
@@ -95,12 +93,16 @@ def run_scenario(stack: str, make_scenario) -> int:
 
 
 def run_table2() -> str:
-    hangs = {}
-    sample_host = "cp/r0/h0"
-    for name, make in scenario_list(sample_host):
-        hangs[name] = {
-            stack: run_scenario(stack, make) for stack in ("luna", "solar")
-        }
+    stacks = ("luna", "solar")
+    points = [
+        (stack, index)
+        for index in range(len(SCENARIO_NAMES))
+        for stack in stacks
+    ]
+    cells = fanout(run_scenario, points)
+    hangs = {name: {} for name in SCENARIO_NAMES}
+    for (stack, index), count in zip(points, cells):
+        hangs[SCENARIO_NAMES[index]][stack] = count
     rows = [[name, counts["luna"], counts["solar"]] for name, counts in hangs.items()]
     table = format_table(["Failure scenario", "LUNA", "SOLAR"], rows)
 

@@ -5,17 +5,35 @@ the simulation experiment, prints the same rows/series the paper reports,
 saves them under ``benchmarks/out/``, and asserts the qualitative shape
 (who wins, by roughly what factor).  Timing is taken by pytest-benchmark
 with a single round — these are experiment harnesses, not microbenchmarks.
+
+Multi-point benches (one independent simulation per stack/seed/scenario
+point) fan their points through :func:`fanout`, which delegates to the
+experiment lab's process-pool runner.  Set ``REPRO_JOBS=N`` to run ``N``
+simulations concurrently; the default (1) executes serially in-process,
+and results are identical either way because every point is a pure
+function of its arguments.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.lab.runner import default_jobs, map_parallel
 from repro.sim import MS
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def fanout(fn: Callable, argslist: Sequence[Tuple], jobs: Optional[int] = None) -> List:
+    """Run ``fn(*args)`` for every args tuple, ``REPRO_JOBS`` at a time.
+
+    Results return in input order.  ``fn`` must be a module-level function
+    and its arguments picklable; a crashed worker is retried once serially
+    (see :func:`repro.lab.runner.map_parallel`).
+    """
+    return map_parallel(fn, argslist, jobs=default_jobs() if jobs is None else jobs)
 
 
 def save_output(name: str, text: str) -> str:
@@ -71,9 +89,17 @@ def run_single_ios(
 ) -> List:
     """Issue ``count`` isolated I/Os (one at a time) and return traces."""
     done: List = []
+    # Guard the offset walk: an I/O as large as the VD always lands at 0,
+    # and one larger than the VD can never fit (the old modulo produced a
+    # zero divisor / negative offsets for those sizes).
+    span = vd.size_bytes - size_bytes
+    if span < 0:
+        raise ValueError(
+            f"I/O size {size_bytes}B exceeds VD size {vd.size_bytes}B"
+        )
 
     def issue(i: int) -> None:
-        offset = (i * size_bytes) % (vd.size_bytes - size_bytes)
+        offset = (i * size_bytes) % span if span > 0 else 0
         offset -= offset % 4096
         if kind == "write":
             vd.write(offset, size_bytes, done.append)

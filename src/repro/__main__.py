@@ -5,7 +5,12 @@ Usage::
     python -m repro info
     python -m repro latency --stack solar --kind write --size-kb 16
     python -m repro compare --size-kb 4
-    python -m repro failover --stack luna
+    python -m repro failover --stack luna --until-ms 2000
+    python -m repro sweep --stacks solar,luna --seeds 0-3 --jobs 4
+
+``failover`` exits nonzero (2) when I/O hangs are detected, so scripts can
+gate on it.  ``sweep`` fans (stack x seed) points across worker processes
+and caches results content-addressed under ``benchmarks/out/lab``.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import sys
 
 from .ebs import DeploymentSpec, EbsDeployment, STACKS, VirtualDisk
 from .faults import IoHangMonitor
+from .lab.cli import add_sweep_parser, cmd_sweep
 from .net.failures import switch_blackhole
 from .sim import MS, SECOND
 
@@ -37,7 +43,7 @@ def cmd_info(_args) -> int:
 
     print(f"repro {__version__} — 'From Luna to Solar' (SIGCOMM 2022) reproduction")
     print(f"stacks: {', '.join(STACKS)}")
-    print("subcommands: info | latency | compare | failover")
+    print("subcommands: info | latency | compare | failover | sweep")
     return 0
 
 
@@ -62,14 +68,18 @@ def cmd_compare(args) -> int:
 
 
 def cmd_failover(args) -> int:
+    until_ns = int(args.until_ms * MS)
     dep, vd = _deploy(args.stack, args.seed)
     monitor = IoHangMonitor(dep.sim, threshold_ns=1 * SECOND)
     scenario = switch_blackhole("spine", 0.5)
     dep.sim.schedule_at(10 * MS, scenario.apply, dep.topology)
     count = [0]
+    # Stop issuing early enough that every watched I/O's 1s hang check
+    # still fires inside the run window.
+    issue_until_ns = until_ns // 4
 
     def issue() -> None:
-        if dep.sim.now > 500 * MS:
+        if dep.sim.now > issue_until_ns:
             return
         io = vd.write((count[0] % 1000) * 4096, 4096, lambda io: None)
         monitor.watch(io)
@@ -77,10 +87,11 @@ def cmd_failover(args) -> int:
         dep.sim.schedule(2 * MS, issue)
 
     issue()
-    dep.run(until_ns=2 * SECOND)
+    dep.run(until_ns=until_ns)
     print(f"{args.stack}: {monitor.watched} I/Os under a 50% spine blackhole, "
           f"{monitor.hangs} hung >= 1s")
-    return 0
+    # Scriptable contract: nonzero when the stack hung I/Os.
+    return 2 if monitor.hangs else 0
 
 
 def main(argv=None) -> int:
@@ -99,9 +110,15 @@ def main(argv=None) -> int:
     p_cmp.add_argument("--size-kb", type=int, default=4)
     p_cmp.add_argument("--seed", type=int, default=0)
 
-    p_fo = sub.add_parser("failover", help="blackhole drill on one stack")
+    p_fo = sub.add_parser("failover", help="blackhole drill on one stack "
+                          "(exits 2 if I/Os hang)")
     p_fo.add_argument("--stack", choices=STACKS, default="solar")
     p_fo.add_argument("--seed", type=int, default=0)
+    p_fo.add_argument("--until-ms", type=float, default=2000.0,
+                      help="simulated run window in ms (default: 2000; "
+                           "I/Os are issued over the first quarter)")
+
+    add_sweep_parser(sub)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -109,6 +126,7 @@ def main(argv=None) -> int:
         "latency": cmd_latency,
         "compare": cmd_compare,
         "failover": cmd_failover,
+        "sweep": cmd_sweep,
         None: cmd_info,
     }
     return handlers[args.command](args)

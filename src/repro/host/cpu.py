@@ -12,6 +12,7 @@ dispatch (the kernel stack's softirq steering approximation).
 
 from __future__ import annotations
 
+import zlib
 from typing import Any, Callable, List, Optional
 
 from ..sim.engine import Simulator
@@ -84,8 +85,13 @@ class CpuComplex:
         ]
 
     def pinned(self, key: str) -> CpuCore:
-        """Share-nothing dispatch: a stable key always lands on one core."""
-        return self.cores[hash(key) % len(self.cores)]
+        """Share-nothing dispatch: a stable key always lands on one core.
+
+        Uses crc32 rather than builtin ``hash`` — string hashing is salted
+        per process (PYTHONHASHSEED), which would make core collisions, and
+        therefore simulated timings, vary between interpreter invocations.
+        """
+        return self.cores[zlib.crc32(key.encode()) % len(self.cores)]
 
     def least_loaded(self) -> CpuCore:
         """Pick the core that would start new work soonest."""

@@ -1,0 +1,320 @@
+"""Parallel point execution: fan experiment points out to worker processes.
+
+Every (spec, seed) point is a pure function of its spec, so points can run
+in any order, in any process, and must produce byte-identical artifacts
+either way — `tests/test_lab.py` holds the runner to that.  The execution
+strategy is:
+
+* ``jobs <= 1`` — run in-process, serially (the reference behaviour);
+* ``jobs > 1`` — a ``ProcessPoolExecutor`` with one simulation per worker
+  task.  Workers receive the spec as canonical JSON (cheap to pickle,
+  independent of import state) and return plain dict artifacts.
+* any point whose worker crashes or errors is retried **once**, serially
+  in the parent — a deterministic failure then reproduces with a clean
+  traceback instead of a ``BrokenProcessPool``.
+
+``run_sweep`` layers the content-addressed store on top: cached points
+skip simulation entirely, fresh results are persisted as canonical JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..ebs import EbsDeployment, VirtualDisk
+from ..faults import IoHangMonitor, TimedFault
+from ..metrics.stats import LatencyStats
+from ..sim import MS
+from ..workloads import FioJob, FioSpec, IoRecord, replay
+from .results import SweepResult
+from .spec import ExperimentSpec, canonical_json
+from .store import ResultStore
+from .telemetry import (
+    CACHED,
+    FAILED,
+    RETRIED,
+    SIMULATED,
+    PointEvent,
+    ProgressFn,
+    RunTelemetry,
+)
+
+#: Simulated-time slack past the workload horizon for in-flight I/Os.
+DRAIN_NS = 100 * MS
+
+#: Environment knob: default worker count for sweeps and benches.
+JOBS_ENV = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    raw = os.environ.get(JOBS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise ValueError(f"{JOBS_ENV} must be an integer, got {raw!r}") from None
+
+
+# ----------------------------------------------------------------------
+# Point execution (pure: spec + seed -> artifact dict)
+# ----------------------------------------------------------------------
+def execute_point(spec: ExperimentSpec, seed: int) -> Dict[str, Any]:
+    """Simulate one point and return its JSON-ready result artifact.
+
+    The artifact contains only values derived from the simulation (never
+    wall-clock readings), so the same point always yields the same bytes
+    under :func:`repro.lab.spec.canonical_json`.
+    """
+    dep = EbsDeployment(dataclasses.replace(spec.deployment, seed=seed))
+    host = dep.compute_host_names()[0]
+    vd = VirtualDisk(dep, "lab-vd0", host, spec.vd_size_mb * 1024 * 1024)
+    monitor = IoHangMonitor(dep.sim, threshold_ns=spec.hang_threshold_ns)
+    for fault in spec.faults:
+        TimedFault(fault.build(), fault.start_ns, fault.end_ns).schedule(
+            dep.sim, dep.topology
+        )
+
+    w = spec.workload
+    # Hang checks fire one threshold after issue; only pay for that window
+    # when a fault schedule can actually produce hangs.
+    until = spec.until_ns
+    if until is None:
+        until = w.horizon_ns + DRAIN_NS
+        if spec.faults:
+            until += spec.hang_threshold_ns
+
+    latency = LatencyStats("lab")
+    issued = completed = failed = bytes_moved = 0
+    #: Measurement window for rate metrics: issue horizon for closed-loop
+    #: fio, last completion for paced/replayed workloads (excludes the
+    #: idle tail of the drain window either way).
+    duration_ns = 0
+
+    if w.mode == "fio":
+        job = FioJob(
+            dep.sim,
+            vd,
+            FioSpec(
+                block_sizes=w.block_sizes,
+                iodepth=w.iodepth,
+                read_fraction=w.read_fraction,
+                runtime_ns=w.runtime_ns,
+                pattern=w.pattern,
+                name="lab",
+            ),
+            on_issue=monitor.watch,
+        )
+        job.start()
+        dep.run(until_ns=until)
+        issued, completed, failed = job.issues, job.completed, job.failed
+        bytes_moved, latency = job.bytes_moved, job.latency
+        duration_ns = job.result().duration_ns
+    elif w.mode == "isolated":
+        span = vd.size_bytes - w.size_bytes
+        if span < 0:
+            raise ValueError(
+                f"isolated I/O of {w.size_bytes}B exceeds VD of {vd.size_bytes}B"
+            )
+
+        def finish(io) -> None:
+            nonlocal completed, failed, bytes_moved, duration_ns
+            duration_ns = dep.sim.now
+            if io.trace is not None and io.trace.ok:
+                completed += 1
+                bytes_moved += io.size_bytes
+                latency.record(io.trace.total_ns)
+            else:
+                failed += 1
+
+        def issue(i: int) -> None:
+            offset = (i * w.size_bytes) % span if span > 0 else 0
+            offset -= offset % 4096
+            op = vd.write if w.kind == "write" else vd.read
+            monitor.watch(op(offset, w.size_bytes, finish))
+
+        for i in range(w.count):
+            dep.sim.schedule(i * w.gap_ns, issue, i)
+        issued = w.count
+        dep.run(until_ns=until)
+    else:  # trace
+        records = [IoRecord(*row) for row in w.records]
+        result = replay(
+            dep.sim, vd, records, time_scale=w.time_scale, on_each=monitor.note_completion
+        )
+        dep.run(until_ns=until)
+        issued, completed, failed = result.issued, result.completed, result.failed
+        latency = result.latency
+        bytes_moved = sum(r.size_bytes for r in records)
+        duration_ns = min(dep.sim.now, w.horizon_ns + DRAIN_NS)
+
+    ok_traces = dep.collector.completed()
+    component_ns = {
+        c: sum(t.components[c] for t in ok_traces) for c in ("sa", "fn", "bn", "ssd")
+    }
+    return {
+        "schema": 1,
+        "digest": spec.point_digest(seed),
+        "name": spec.name,
+        "stack": spec.deployment.stack,
+        "seed": seed,
+        "workload_mode": w.mode,
+        "issued": issued,
+        "completed": completed,
+        "failed": failed,
+        "hangs": monitor.hangs,
+        "watched": monitor.watched,
+        "bytes_moved": bytes_moved,
+        "duration_ns": duration_ns,
+        "sim_ns": dep.sim.now,
+        "events": dep.sim.events_processed,
+        "latency_ns": list(latency.samples),
+        "component_ns": component_ns,
+        "component_count": len(ok_traces),
+    }
+
+
+def _simulate_point(spec_json: str, seed: int) -> Dict[str, Any]:
+    """Worker entry point: rebuild the spec from JSON and execute."""
+    return execute_point(ExperimentSpec.from_json(spec_json), seed)
+
+
+# ----------------------------------------------------------------------
+# Generic parallel map with crash retry
+# ----------------------------------------------------------------------
+def map_parallel(
+    fn: Callable[..., Any],
+    argslist: Sequence[Tuple],
+    jobs: Optional[int] = None,
+    on_result: Optional[Callable[[int, str, float, Any], None]] = None,
+) -> List[Any]:
+    """Run ``fn(*args)`` for every args tuple, ``jobs`` at a time.
+
+    Results come back in input order.  ``on_result(index, status, wall_s,
+    result)`` streams completions as they happen.  Tasks whose worker
+    dies or raises are retried once, serially, in the calling process;
+    a second failure propagates the real exception.  If the pool itself
+    cannot be used (e.g. ``fn`` is not picklable under the spawn start
+    method), every task falls back to the serial path, so callers never
+    need a platform case-split.
+    """
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    n = len(argslist)
+    results: List[Any] = [None] * n
+    done = [False] * n
+
+    def run_serial(index: int, status: str) -> None:
+        t0 = time.perf_counter()
+        try:
+            results[index] = fn(*argslist[index])
+        except Exception as exc:
+            if on_result is not None:
+                on_result(index, FAILED, time.perf_counter() - t0, exc)
+            raise
+        done[index] = True
+        if on_result is not None:
+            on_result(index, status, time.perf_counter() - t0, results[index])
+
+    if jobs <= 1 or n <= 1:
+        for i in range(n):
+            run_serial(i, SIMULATED)
+        return results
+
+    t0 = time.perf_counter()
+    try:
+        with ProcessPoolExecutor(max_workers=min(jobs, n)) as pool:
+            futures = {pool.submit(fn, *args): i for i, args in enumerate(argslist)}
+            for future in as_completed(futures):
+                i = futures[future]
+                try:
+                    results[i] = future.result()
+                except Exception:
+                    continue  # picked up by the retry pass below
+                done[i] = True
+                if on_result is not None:
+                    # Worker wall time is not observable from here; charge
+                    # elapsed-so-far, which is what a user perceives anyway.
+                    on_result(i, SIMULATED, time.perf_counter() - t0, results[i])
+    except Exception:
+        # The pool never came up (or broke before draining): retry below.
+        pass
+
+    for i in range(n):
+        if not done[i]:
+            run_serial(i, RETRIED)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Sweeps: store-aware fan-out over experiment points
+# ----------------------------------------------------------------------
+def run_sweep(
+    specs: Union[ExperimentSpec, Sequence[ExperimentSpec]],
+    jobs: Optional[int] = None,
+    store: Optional[ResultStore] = None,
+    force: bool = False,
+    progress: Optional[ProgressFn] = None,
+) -> SweepResult:
+    """Resolve every point of every spec: cache, else simulate, persist.
+
+    Returns a :class:`repro.lab.results.SweepResult` carrying the spec
+    list, the per-point artifacts (in spec x seed order) and the run's
+    :class:`~repro.lab.telemetry.RunTelemetry`.
+    """
+    if isinstance(specs, ExperimentSpec):
+        specs = [specs]
+    specs = list(specs)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+
+    points = [point for spec in specs for point in spec.points()]
+    telemetry = RunTelemetry(total=len(points), jobs=jobs)
+    artifacts: Dict[str, Dict[str, Any]] = {}
+
+    def label(spec: ExperimentSpec, seed: int) -> str:
+        return f"{spec.name} seed={seed}"
+
+    def emit(event: PointEvent) -> None:
+        telemetry.note(event)
+        if progress is not None:
+            progress(event)
+
+    todo: List[Tuple[int, ExperimentSpec, int, str]] = []
+    for index, (spec, seed, digest) in enumerate(points):
+        cached = store.get_artifact(digest) if (store is not None and not force) else None
+        if cached is not None:
+            artifacts[digest] = cached
+            emit(PointEvent(index, len(points), label(spec, seed), CACHED))
+        else:
+            todo.append((index, spec, seed, digest))
+
+    def on_result(pos: int, status: str, wall_s: float, result: Any) -> None:
+        index, spec, seed, _digest = todo[pos]
+        error = str(result) if status == FAILED else ""
+        emit(PointEvent(index, len(points), label(spec, seed), status, wall_s, error))
+
+    try:
+        fresh = map_parallel(
+            _simulate_point,
+            [(spec.to_json(), seed) for _, spec, seed, _ in todo],
+            jobs=jobs,
+            on_result=on_result,
+        )
+    except Exception as exc:
+        # The failing point has already been retried serially; surface it
+        # with enough context to re-run by hand.
+        telemetry.finish()
+        raise RuntimeError(f"sweep failed after retry: {exc}") from exc
+
+    for (index, spec, seed, digest), artifact in zip(todo, fresh):
+        if store is not None:
+            store.put(digest, canonical_json(artifact))
+        artifacts[digest] = artifact
+
+    telemetry.finish()
+    ordered = [artifacts[digest] for _, _, digest in points]
+    return SweepResult(specs=specs, points=points, artifacts=ordered, telemetry=telemetry)

@@ -1,0 +1,240 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the unit of work of the lab: one deployment
+shape, one workload description, an optional fault schedule, and a list of
+seeds.  Every (spec, seed) pair is a *point* — a pure function from spec to
+result artifact — which is what makes points safe to execute in worker
+processes (`repro.lab.runner`) and to cache content-addressed
+(`repro.lab.store`).
+
+Specs are frozen dataclasses, serialize to canonical JSON, and hash to a
+stable digest that keys the result store.  The digest covers everything
+that can change a simulation outcome (deployment, workload, faults, seed,
+package version) and excludes presentation-only fields (`name`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import __version__
+from ..ebs import DeploymentSpec
+from ..net.failures import (
+    FailureScenario,
+    random_drop,
+    switch_blackhole,
+    switch_failure,
+    switch_reboot,
+    tor_port_failure,
+)
+from ..sim import MS, SECOND
+
+#: Bump when the artifact layout changes: old cache entries stop matching.
+SCHEMA_VERSION = 1
+
+WORKLOAD_MODES = ("fio", "isolated", "trace")
+
+
+def canonical_json(obj: Any) -> bytes:
+    """Deterministic JSON encoding: sorted keys, no whitespace drift.
+
+    Artifacts written through this function are byte-identical across
+    processes and across serial/parallel execution, which is what the
+    store's content addressing and the determinism tests rely on.
+    """
+    return (
+        json.dumps(obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+        + "\n"
+    ).encode("ascii")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """What to run against the virtual disk of one experiment point.
+
+    Three modes cover the repo's experiment styles:
+
+    * ``fio`` — a closed-loop :class:`repro.workloads.FioJob` (iodepth,
+      mixed block sizes, read fraction, access pattern);
+    * ``isolated`` — ``count`` paced single I/Os (the Table 1 / latency
+      -breakdown methodology: one I/O in flight at a time);
+    * ``trace`` — replay of recorded :class:`repro.workloads.IoRecord`
+      rows, preserving inter-arrival times.
+    """
+
+    mode: str = "fio"
+    # fio mode
+    block_sizes: Tuple[int, ...] = (4096,)
+    iodepth: int = 16
+    read_fraction: float = 0.3
+    runtime_ns: int = 10 * MS
+    pattern: str = "random"
+    # isolated mode
+    count: int = 100
+    size_bytes: int = 4096
+    kind: str = "write"
+    gap_ns: int = 200_000
+    # trace mode: rows of (at_ns, kind, offset_bytes, size_bytes)
+    records: Tuple[Tuple[int, str, int, int], ...] = ()
+    time_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in WORKLOAD_MODES:
+            raise ValueError(f"mode must be one of {WORKLOAD_MODES}, got {self.mode!r}")
+        if self.mode == "fio":
+            if self.iodepth < 1:
+                raise ValueError(f"iodepth must be >= 1, got {self.iodepth}")
+            if self.runtime_ns <= 0:
+                raise ValueError(f"runtime_ns must be positive, got {self.runtime_ns}")
+        if self.mode == "isolated":
+            if self.count < 1 or self.size_bytes <= 0 or self.gap_ns < 0:
+                raise ValueError(f"invalid isolated workload: {self}")
+            if self.kind not in ("read", "write"):
+                raise ValueError(f"kind must be read|write, got {self.kind!r}")
+        if self.mode == "trace":
+            if not self.records:
+                raise ValueError("trace workload needs at least one record")
+            if self.time_scale <= 0:
+                raise ValueError(f"non-positive time scale: {self.time_scale}")
+
+    @property
+    def horizon_ns(self) -> int:
+        """Simulated time by which the last I/O has been *issued*."""
+        if self.mode == "fio":
+            return self.runtime_ns
+        if self.mode == "isolated":
+            return self.count * self.gap_ns
+        return int(max(r[0] for r in self.records) * self.time_scale)
+
+
+#: kind -> constructor taking a FaultSpec; ``target`` is a switch tier
+#: ("tor"/"spine"/...) except for tor_port_failure, where it is a host name.
+_FAULT_KINDS: Dict[str, Callable[["FaultSpec"], FailureScenario]] = {
+    "tor_port_failure": lambda fs: tor_port_failure(fs.target, int(fs.param)),
+    "switch_failure": lambda fs: switch_failure(
+        fs.target, fs.index, link_down=bool(fs.param)
+    ),
+    "switch_reboot": lambda fs: switch_reboot(fs.target, int(fs.param), fs.index),
+    "switch_blackhole": lambda fs: switch_blackhole(fs.target, fs.param, fs.index),
+    "random_drop": lambda fs: random_drop(fs.target, fs.param, fs.index),
+}
+
+FAULT_KINDS = tuple(sorted(_FAULT_KINDS))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled failure injection, declaratively.
+
+    ``param`` is kind-specific: blackhole/drop fraction, reboot downtime
+    (ns), port index for ``tor_port_failure``, link_down flag (0/1) for
+    ``switch_failure``.
+    """
+
+    kind: str
+    target: str = "tor"
+    param: float = 0.5
+    index: int = 0
+    start_ns: int = 10 * MS
+    end_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; one of {FAULT_KINDS}")
+        if self.start_ns < 0:
+            raise ValueError(f"fault cannot start before t=0: {self.start_ns}")
+        if self.end_ns is not None and self.end_ns <= self.start_ns:
+            raise ValueError("fault must end after it starts")
+
+    def build(self) -> FailureScenario:
+        return _FAULT_KINDS[self.kind](self)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One named experiment: deployment x workload x faults x seeds."""
+
+    deployment: DeploymentSpec = field(default_factory=DeploymentSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    faults: Tuple[FaultSpec, ...] = ()
+    seeds: Tuple[int, ...] = (0,)
+    name: str = "experiment"
+    vd_size_mb: int = 256
+    hang_threshold_ns: int = 1 * SECOND
+    #: Absolute run bound; None derives one from the workload horizon.
+    until_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise ValueError("spec needs at least one seed")
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(f"duplicate seeds: {self.seeds}")
+        if self.vd_size_mb <= 0:
+            raise ValueError(f"vd_size_mb must be positive, got {self.vd_size_mb}")
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        d = dataclasses.asdict(self)
+        d["workload"]["records"] = [list(r) for r in self.workload.records]
+        return d
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict()).decode("ascii")
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ExperimentSpec":
+        d = dict(d)
+        w = dict(d.pop("workload"))
+        w["block_sizes"] = tuple(w["block_sizes"])
+        w["records"] = tuple(tuple(r) for r in w["records"])
+        return cls(
+            deployment=DeploymentSpec(**d.pop("deployment")),
+            workload=WorkloadSpec(**w),
+            faults=tuple(FaultSpec(**f) for f in d.pop("faults")),
+            seeds=tuple(d.pop("seeds")),
+            **d,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- content addressing ---------------------------------------------
+    def _digest_material(self, seed: int) -> Dict[str, Any]:
+        material = self.to_dict()
+        # Presentation-only / per-point fields stay out of the key.
+        material.pop("name")
+        material.pop("seeds")
+        material["seed"] = seed
+        material["version"] = __version__
+        material["schema"] = SCHEMA_VERSION
+        return material
+
+    def point_digest(self, seed: int) -> str:
+        """Content address of the (spec, seed) point's result artifact."""
+        if seed not in self.seeds:
+            raise ValueError(f"seed {seed} not in {self.seeds}")
+        return hashlib.sha256(
+            canonical_json(self._digest_material(seed))
+        ).hexdigest()
+
+    def points(self) -> List[Tuple["ExperimentSpec", int, str]]:
+        """All (spec, seed, digest) points of this experiment, seed order."""
+        return [(self, seed, self.point_digest(seed)) for seed in self.seeds]
+
+    def with_stack(self, stack: str) -> "ExperimentSpec":
+        """Same experiment on another frontend stack, named accordingly."""
+        return dataclasses.replace(
+            self,
+            deployment=dataclasses.replace(self.deployment, stack=stack),
+            name=f"{self.name}/{stack}" if self.name else stack,
+        )
+
+
+def stack_sweep(base: ExperimentSpec, stacks: Sequence[str]) -> List[ExperimentSpec]:
+    """One spec per stack, sharing base's workload, faults and seeds."""
+    return [base.with_stack(stack) for stack in stacks]

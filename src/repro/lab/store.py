@@ -1,0 +1,103 @@
+"""Content-addressed on-disk result store.
+
+Artifacts are keyed by the sha256 digest of their point's spec material
+(deployment + workload + faults + seed + package version — see
+:meth:`repro.lab.spec.ExperimentSpec.point_digest`), so a cache entry can
+never be served for a simulation that would produce different bytes: any
+change to the spec or to the package version changes the key.  Payloads
+are the canonical-JSON artifact bytes, written atomically (tmp + rename)
+so a killed sweep never leaves a torn entry behind.
+
+Layout (git- and CAS-style fan-out to keep directories small)::
+
+    <root>/ab/abcdef...0123.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterator, Optional
+
+#: Default store location, relative to the working directory: next to the
+#: benchmark outputs so `benchmarks/out/` stays the one artifact tree.
+DEFAULT_STORE_DIR = os.path.join("benchmarks", "out", "lab")
+
+_HEX = set("0123456789abcdef")
+
+
+class ResultStore:
+    """Digest-addressed artifact cache with hit/miss telemetry."""
+
+    def __init__(self, root: str = DEFAULT_STORE_DIR):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def path_for(self, digest: str) -> str:
+        if len(digest) < 8 or not set(digest) <= _HEX:
+            raise ValueError(f"not a hex digest: {digest!r}")
+        return os.path.join(self.root, digest[:2], f"{digest}.json")
+
+    def get(self, digest: str) -> Optional[bytes]:
+        """Raw artifact bytes for a digest, or None on a miss."""
+        try:
+            with open(self.path_for(digest), "rb") as handle:
+                payload = handle.read()
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def get_artifact(self, digest: str) -> Optional[Dict[str, Any]]:
+        payload = self.get(digest)
+        return None if payload is None else json.loads(payload)
+
+    def put(self, digest: str, payload: bytes) -> str:
+        """Atomically persist one artifact; returns its path."""
+        path = self.path_for(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.writes += 1
+        return path
+
+    def has(self, digest: str) -> bool:
+        return os.path.exists(self.path_for(digest))
+
+    # ------------------------------------------------------------------
+    def digests(self) -> Iterator[str]:
+        """All digests currently stored (any order)."""
+        if not os.path.isdir(self.root):
+            return
+        for shard in sorted(os.listdir(self.root)):
+            shard_dir = os.path.join(self.root, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for entry in sorted(os.listdir(shard_dir)):
+                if entry.endswith(".json") and not entry.startswith("."):
+                    yield entry[: -len(".json")]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.digests())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ResultStore {self.root!r} entries={len(self)} "
+            f"hits={self.hits} misses={self.misses}>"
+        )

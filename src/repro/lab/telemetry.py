@@ -1,0 +1,109 @@
+"""Sweep run telemetry: per-point progress events and whole-run counters.
+
+The runner is silent by itself; callers (the CLI, tests, benches) attach a
+progress callback and receive one :class:`PointEvent` as each point
+resolves — from the cache, from a worker process, or from the serial
+retry path.  The counters double as the observable contract the tests
+assert on ("a cache hit skips simulation").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: How a point was satisfied.
+CACHED = "cached"
+SIMULATED = "simulated"
+RETRIED = "retried"  # simulated, but only after a worker crash/failure
+FAILED = "failed"
+
+ProgressFn = Callable[["PointEvent"], None]
+
+
+@dataclass(frozen=True)
+class PointEvent:
+    """One point's resolution, streamed as it happens."""
+
+    index: int  # position in the sweep's point list
+    total: int
+    label: str  # e.g. "table2/luna seed=91"
+    status: str  # CACHED | SIMULATED | RETRIED | FAILED
+    wall_s: float = 0.0
+    error: str = ""
+
+    def render(self) -> str:
+        timing = f" {self.wall_s:.2f}s" if self.status != CACHED else ""
+        suffix = f": {self.error}" if self.error else ""
+        return f"[{self.index + 1}/{self.total}] {self.label} {self.status}{timing}{suffix}"
+
+
+@dataclass
+class RunTelemetry:
+    """Aggregated counters for one sweep invocation."""
+
+    total: int = 0
+    cache_hits: int = 0
+    simulated: int = 0
+    retries: int = 0
+    failures: int = 0
+    jobs: int = 1
+    wall_s: float = 0.0
+    events: List[PointEvent] = field(default_factory=list)
+    _t0: float = field(default_factory=time.perf_counter, repr=False)
+
+    def note(self, event: PointEvent) -> None:
+        self.events.append(event)
+        if event.status == CACHED:
+            self.cache_hits += 1
+        elif event.status == SIMULATED:
+            self.simulated += 1
+        elif event.status == RETRIED:
+            self.simulated += 1
+            self.retries += 1
+        elif event.status == FAILED:
+            self.failures += 1
+        else:  # pragma: no cover - programming error
+            raise ValueError(f"unknown point status {event.status!r}")
+
+    def finish(self) -> None:
+        self.wall_s = time.perf_counter() - self._t0
+
+    @property
+    def resolved(self) -> int:
+        return self.cache_hits + self.simulated
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.total} points",
+            f"{self.simulated} simulated",
+            f"{self.cache_hits} cached",
+        ]
+        if self.retries:
+            parts.append(f"{self.retries} retried")
+        if self.failures:
+            parts.append(f"{self.failures} FAILED")
+        parts.append(f"jobs={self.jobs}")
+        parts.append(f"wall {self.wall_s:.2f}s")
+        return ", ".join(parts)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "retries": self.retries,
+            "failures": self.failures,
+            "jobs": self.jobs,
+            "wall_s": round(self.wall_s, 3),
+        }
+
+
+def printer(stream=None) -> ProgressFn:
+    """A progress callback that prints each event as it arrives."""
+
+    def emit(event: PointEvent) -> None:
+        print(event.render(), file=stream, flush=True)
+
+    return emit

@@ -2,13 +2,14 @@
 time-series bucketing."""
 
 from .series import TimeSeries
-from .stats import Counter, LatencyStats, percentile
+from .stats import Counter, LatencyStats, mean_ci, percentile
 from .trace import COMPONENTS, IoTrace, TraceCollector
 
 __all__ = [
     "LatencyStats",
     "Counter",
     "percentile",
+    "mean_ci",
     "IoTrace",
     "TraceCollector",
     "COMPONENTS",

@@ -75,6 +75,48 @@ class LatencyStats:
             return f"<LatencyStats {self.name!r} empty>"
         return f"<LatencyStats {self.name!r} {self.summary_us()}>"
 
+    @classmethod
+    def merged(
+        cls, parts: Iterable["LatencyStats"], name: str = "merged"
+    ) -> "LatencyStats":
+        """Pool several runs' samples (e.g. seed replicates) into one
+        distribution, so percentiles are computed over all I/Os rather
+        than averaged across runs (averaging percentiles is biased)."""
+        out = cls(name)
+        for part in parts:
+            out.samples.extend(part.samples)
+        return out
+
+
+#: Two-sided 95% Student-t critical values by degrees of freedom.  Seed
+#: replicate counts are small (2-10 runs), where the normal 1.96 badly
+#: understates the interval; beyond the table the normal value is close.
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    15: 2.131, 20: 2.086, 30: 2.042,
+}
+
+
+def mean_ci(values: Sequence[float]) -> tuple:
+    """Mean and 95% confidence half-width of replicate measurements.
+
+    Returns ``(mean, half_width)``; the half-width is 0.0 for a single
+    replicate (no variance estimate is possible).
+    """
+    if not values:
+        raise ValueError("mean_ci of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return mean, 0.0
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    df = n - 1
+    t = _T95.get(df) or next(
+        (_T95[k] for k in sorted(_T95) if k >= df), 1.960
+    )
+    return mean, t * math.sqrt(var / n)
+
 
 @dataclass
 class Counter:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..agent.base import IoRequest
 from ..ebs.virtual_disk import VirtualDisk
@@ -71,10 +71,19 @@ class FioResult:
 class FioJob:
     """Closed-loop driver keeping ``iodepth`` I/Os outstanding on one VD."""
 
-    def __init__(self, sim: Simulator, vd: VirtualDisk, spec: FioSpec):
+    def __init__(
+        self,
+        sim: Simulator,
+        vd: VirtualDisk,
+        spec: FioSpec,
+        on_issue: Optional[Callable[[IoRequest], None]] = None,
+    ):
         self.sim = sim
         self.vd = vd
         self.spec = spec
+        #: Observer called with each IoRequest as it is submitted — e.g. an
+        #: IoHangMonitor's ``watch`` so hangs are counted under faults.
+        self.on_issue = on_issue
         self._rng = sim.rng.stream(f"fio/{spec.name}/{vd.vd_id}")
         if spec.pattern == "sequential":
             from .patterns import SequentialPattern
@@ -121,9 +130,11 @@ class FioJob:
         self.inflight += 1
         self.issues += 1
         if self._rng.random() < self.spec.read_fraction:
-            self.vd.read(offset, size, self._on_complete)
+            io = self.vd.read(offset, size, self._on_complete)
         else:
-            self.vd.write(offset, size, self._on_complete)
+            io = self.vd.write(offset, size, self._on_complete)
+        if self.on_issue is not None:
+            self.on_issue(io)
 
     def _on_complete(self, io: IoRequest) -> None:
         self.inflight -= 1

@@ -29,3 +29,63 @@ class TestCli:
         assert main(["failover", "--stack", "solar"]) == 0
         out = capsys.readouterr().out
         assert "0 hung" in out
+
+    def test_failover_luna_hangs_exit_nonzero(self, capsys):
+        # The scriptable contract: hangs detected -> exit code 2.
+        assert main(["failover", "--stack", "luna", "--until-ms", "1200"]) == 2
+        out = capsys.readouterr().out
+        assert "hung >= 1s" in out
+        assert "0 hung" not in out
+
+    def test_failover_until_ms_bounds_the_run(self, capsys):
+        assert main(["failover", "--stack", "solar", "--until-ms", "1200"]) == 0
+        short = capsys.readouterr().out
+        assert main(["failover", "--stack", "solar"]) == 0
+        full = capsys.readouterr().out
+        watched = lambda text: int(text.split(":")[1].split()[0])  # noqa: E731
+        assert watched(short) < watched(full)
+
+
+def sweep_args(seeds="0,1", *extra):
+    return [
+        "sweep", "--stacks", "solar", "--seeds", seeds, "--jobs", "2",
+        "--iodepth", "4", "--runtime-ms", "1", "--block-sizes-kb", "4",
+        "--vd-size-mb", "64", "--name", "clitest", *extra,
+    ]
+
+
+class TestSweepCli:
+    def test_sweep_simulates_then_serves_from_cache(self, tmp_path, capsys):
+        args = sweep_args("0,1", "--store", str(tmp_path / "lab"))
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "simulated" in first
+        assert "clitest/solar" in first
+        assert "2 simulated, 0 cached" in first
+
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 simulated, 2 cached" in second
+        # identical aggregate rows either way
+        row = [l for l in first.splitlines() if l.startswith("clitest/solar")]
+        assert row == [l for l in second.splitlines() if l.startswith("clitest/solar")]
+
+    def test_sweep_json_output(self, tmp_path, capsys):
+        import json
+
+        args = sweep_args("0", "--store", str(tmp_path / "lab"), "--json")
+        assert main(args) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["telemetry"]["total"] == 1
+        assert payload["experiments"][0]["stack"] == "solar"
+        assert payload["experiments"][0]["completed"] > 0
+        assert len(payload["digests"]) == 1
+
+    def test_sweep_rejects_unknown_stack(self, capsys):
+        assert main(["sweep", "--stacks", "quic", "--no-store"]) == 2
+        assert "unknown stack" in capsys.readouterr().err
+
+    def test_sweep_no_store_skips_artifacts(self, capsys):
+        assert main(sweep_args("0", "--no-store")) == 0
+        out = capsys.readouterr().out
+        assert "artifacts:" not in out
