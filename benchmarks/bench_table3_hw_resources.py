@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 from common import format_table, once, save_output
 
-from repro.core.dpu_offload import SolarOffload, table3_specs
+from repro.core.dpu_offload import table3_specs
 from repro.ebs import DeploymentSpec, EbsDeployment
 from repro.host.fpga import FpgaResourceError
 

@@ -17,11 +17,10 @@ function of its arguments.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
 from repro.lab.runner import default_jobs, map_parallel
-from repro.sim import MS
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 

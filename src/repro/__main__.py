@@ -7,10 +7,12 @@ Usage::
     python -m repro compare --size-kb 4
     python -m repro failover --stack luna --until-ms 2000
     python -m repro sweep --stacks solar,luna --seeds 0-3 --jobs 4
+    python -m repro upgrade --from kernel --to luna --seed 42
 
-``failover`` exits nonzero (2) when I/O hangs are detected, so scripts can
-gate on it.  ``sweep`` fans (stack x seed) points across worker processes
-and caches results content-addressed under ``benchmarks/out/lab``.
+``failover`` and ``upgrade`` exit nonzero (2) when I/O hangs are detected,
+so scripts can gate on them.  ``sweep`` and ``upgrade`` fan points across
+worker processes and cache results content-addressed under
+``benchmarks/out/lab``.
 """
 
 from __future__ import annotations
@@ -18,11 +20,16 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .control.cli import add_upgrade_parser, cmd_upgrade
 from .ebs import DeploymentSpec, EbsDeployment, STACKS, VirtualDisk
 from .faults import IoHangMonitor
 from .lab.cli import add_sweep_parser, cmd_sweep
 from .net.failures import switch_blackhole
 from .sim import MS, SECOND
+
+#: ``failover`` watches each I/O for this long before calling it hung
+#: (Table 2's "unanswered >= 1s" yardstick).
+HANG_THRESHOLD_NS = 1 * SECOND
 
 
 def _deploy(stack: str, seed: int) -> tuple:
@@ -43,7 +50,7 @@ def cmd_info(_args) -> int:
 
     print(f"repro {__version__} — 'From Luna to Solar' (SIGCOMM 2022) reproduction")
     print(f"stacks: {', '.join(STACKS)}")
-    print("subcommands: info | latency | compare | failover | sweep")
+    print("subcommands: info | latency | compare | failover | sweep | upgrade")
     return 0
 
 
@@ -69,14 +76,24 @@ def cmd_compare(args) -> int:
 
 def cmd_failover(args) -> int:
     until_ns = int(args.until_ms * MS)
+    # Stop issuing one hang threshold before the window closes, so every
+    # watched I/O's hang check still fires inside the run.  The old
+    # ``until_ns // 4`` heuristic silently watched zero I/Os on short
+    # windows, reporting a vacuous "0 hung".
+    issue_until_ns = until_ns - HANG_THRESHOLD_NS
+    if issue_until_ns < 0:
+        print(
+            f"failover: --until-ms {args.until_ms:g} is shorter than the "
+            f"{HANG_THRESHOLD_NS // MS}ms hang threshold; no I/O could be "
+            "watched to completion. Use a longer window.",
+            file=sys.stderr,
+        )
+        return 2
     dep, vd = _deploy(args.stack, args.seed)
-    monitor = IoHangMonitor(dep.sim, threshold_ns=1 * SECOND)
+    monitor = IoHangMonitor(dep.sim, threshold_ns=HANG_THRESHOLD_NS)
     scenario = switch_blackhole("spine", 0.5)
     dep.sim.schedule_at(10 * MS, scenario.apply, dep.topology)
     count = [0]
-    # Stop issuing early enough that every watched I/O's 1s hang check
-    # still fires inside the run window.
-    issue_until_ns = until_ns // 4
 
     def issue() -> None:
         if dep.sim.now > issue_until_ns:
@@ -115,10 +132,12 @@ def main(argv=None) -> int:
     p_fo.add_argument("--stack", choices=STACKS, default="solar")
     p_fo.add_argument("--seed", type=int, default=0)
     p_fo.add_argument("--until-ms", type=float, default=2000.0,
-                      help="simulated run window in ms (default: 2000; "
-                           "I/Os are issued over the first quarter)")
+                      help="simulated run window in ms (default: 2000; must "
+                           "exceed the 1000ms hang threshold — I/Os are "
+                           "issued until one threshold before the end)")
 
     add_sweep_parser(sub)
+    add_upgrade_parser(sub)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -127,6 +146,7 @@ def main(argv=None) -> int:
         "compare": cmd_compare,
         "failover": cmd_failover,
         "sweep": cmd_sweep,
+        "upgrade": cmd_upgrade,
         None: cmd_info,
     }
     return handlers[args.command](args)

@@ -10,7 +10,7 @@ metadata for trace attribution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..sim.engine import Simulator
 from ..storage.block import DataBlock

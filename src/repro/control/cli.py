@@ -1,0 +1,207 @@
+"""The ``python -m repro upgrade`` subcommand.
+
+Runs a rolling hot-upgrade drill — Figure 7 in miniature — through the
+lab runner, so results are cached content-addressed and ``REPRO_JOBS``
+parallelism applies to multi-seed runs.  Typical usage::
+
+    python -m repro upgrade --from kernel --to luna --seed 42
+    python -m repro upgrade --from kernel --to solar --servers 12 --waves 6
+    python -m repro upgrade --seeds 0-3 --jobs 4 --json
+
+Prints a per-wave table (stack mix, completed I/Os, fleet-average
+latency, per-server IOPS, availability) and exits 2 if any I/O hung
+longer than the threshold — the Table 2 "unanswered >= 1s" contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List
+
+from ..lab.cli import _format_table, parse_seeds
+from ..lab.runner import default_jobs, run_sweep
+from ..lab.spec import UPGRADE_ORDER, ExperimentSpec, UpgradeSpec
+from ..lab.store import DEFAULT_STORE_DIR, ResultStore
+from ..lab.telemetry import printer
+from ..sim import MS, US
+from .cluster import FLEET_DEPLOYMENT
+from .drill import artifact_to_result
+from .upgrade import UpgradeResult, check_rollout_consistency
+
+WAVE_HEADERS = (
+    "wave", "kind", "mix", "ios", "mean us", "IOPS/srv", "availability", "migr",
+)
+
+
+def _mix_cell(mix) -> str:
+    parts = [
+        f"{stack}:{share:.0%}"
+        for stack, share in sorted(mix.items())
+        if share > 0
+    ]
+    return " ".join(parts) if parts else "-"
+
+
+def wave_rows(result: UpgradeResult) -> List[List[str]]:
+    return [
+        [
+            str(w.index),
+            w.kind,
+            _mix_cell(w.mix),
+            str(w.completed),
+            f"{w.mean_latency_ns / 1000:.1f}",
+            f"{w.iops_per_server:.0f}",
+            f"{w.availability:.4%}",
+            str(w.migrations),
+        ]
+        for w in result.waves
+    ]
+
+
+def add_upgrade_parser(sub: argparse._SubParsersAction) -> argparse.ArgumentParser:
+    p = sub.add_parser(
+        "upgrade",
+        help="rolling hot-upgrade drill (exits 2 if I/Os hang)",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("--from", dest="from_stack", choices=UPGRADE_ORDER[:-1],
+                   default="kernel", help="stack the fleet starts on")
+    p.add_argument("--to", dest="to_stack", choices=UPGRADE_ORDER[1:],
+                   default="luna", help="stack the fleet ends on")
+    p.add_argument("--servers", type=int, default=8)
+    p.add_argument("--waves", type=int, default=4,
+                   help="contiguous server groups per hop (default: 4)")
+    p.add_argument("--wave-ms", type=float, default=5.0,
+                   help="measurement window per wave in simulated ms")
+    p.add_argument("--io-gap-us", type=float, default=500.0,
+                   help="per-server paced-writer gap in us (default: 500)")
+    p.add_argument("--seeds", "--seed", dest="seeds", default="0",
+                   help="seed list/range, e.g. 42 or 0-3 (default: 0)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: $REPRO_JOBS or 1)")
+    p.add_argument("--vd-size-mb", type=int, default=64)
+    p.add_argument("--name", default="upgrade")
+    p.add_argument("--store", default=DEFAULT_STORE_DIR,
+                   help=f"result store directory (default: {DEFAULT_STORE_DIR})")
+    p.add_argument("--no-store", action="store_true",
+                   help="do not read or write the result store")
+    p.add_argument("--force", action="store_true",
+                   help="re-simulate even when cached results exist")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit a machine-readable JSON summary")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-point progress lines")
+    return p
+
+
+def build_upgrade_spec(args: argparse.Namespace) -> ExperimentSpec:
+    plan = UpgradeSpec(
+        from_stack=args.from_stack,
+        to_stack=args.to_stack,
+        servers=args.servers,
+        waves=args.waves,
+        wave_window_ns=int(args.wave_ms * MS),
+        io_gap_ns=int(args.io_gap_us * US),
+    )
+    return ExperimentSpec(
+        deployment=dataclasses.replace(FLEET_DEPLOYMENT, stack=plan.to_stack),
+        upgrade=plan,
+        seeds=tuple(parse_seeds(args.seeds)),
+        name=f"{args.name}/{plan.from_stack}-to-{plan.to_stack}",
+        vd_size_mb=args.vd_size_mb,
+    )
+
+
+def cmd_upgrade(args: argparse.Namespace) -> int:
+    try:
+        spec = build_upgrade_spec(args)
+    except ValueError as exc:
+        print(f"upgrade: {exc}", file=sys.stderr)
+        return 2
+    store = None if args.no_store else ResultStore(args.store)
+    progress = None if (args.quiet or args.as_json) else printer()
+    try:
+        sweep = run_sweep(
+            spec,
+            jobs=args.jobs if args.jobs is not None else default_jobs(),
+            store=store,
+            force=args.force,
+            progress=progress,
+        )
+    except RuntimeError as exc:
+        print(f"upgrade: {exc}", file=sys.stderr)
+        return 1
+
+    results = [
+        (seed, artifact_to_result(spec, artifact))
+        for (_spec, seed, _digest), artifact in zip(sweep.points, sweep.artifacts)
+    ]
+    problems = [
+        f"seed {seed}: {problem}"
+        for seed, result in results
+        for problem in check_rollout_consistency(result)
+    ]
+    hangs = sum(result.hangs for _seed, result in results)
+
+    if args.as_json:
+        print(json.dumps({
+            "plan": dataclasses.asdict(spec.upgrade),
+            "digests": sweep.digests(),
+            "hangs": hangs,
+            "consistent": not problems,
+            "problems": problems,
+            "seeds": [
+                {
+                    "seed": seed,
+                    "issued": result.issued,
+                    "completed": result.completed,
+                    "failed": result.failed,
+                    "deferred": result.deferred,
+                    "hangs": result.hangs,
+                    "availability_floor": result.availability_floor(),
+                    "terminal_mix": result.terminal_mix(),
+                    "waves": [
+                        {
+                            "index": w.index,
+                            "kind": w.kind,
+                            "mix": w.mix,
+                            "completed": w.completed,
+                            "mean_latency_ns": w.mean_latency_ns,
+                            "iops_per_server": w.iops_per_server,
+                            "availability": w.availability,
+                            "migrations": w.migrations,
+                        }
+                        for w in result.waves
+                    ],
+                }
+                for seed, result in results
+            ],
+        }, indent=2, sort_keys=True))
+    else:
+        for seed, result in results:
+            plan = result.plan
+            print()
+            print(f"rolling upgrade {plan.from_stack} -> {plan.to_stack}: "
+                  f"{plan.servers} servers, {plan.waves} waves/hop, "
+                  f"{plan.wave_window_ns / MS:g}ms windows, seed {seed}")
+            print(_format_table(WAVE_HEADERS, wave_rows(result)))
+            first, last = result.waves[0], result.waves[-1]
+            print(f"fleet latency {first.mean_latency_ns / 1000:.1f}us -> "
+                  f"{last.mean_latency_ns / 1000:.1f}us, "
+                  f"availability floor {result.availability_floor():.4%}, "
+                  f"{result.migrations} migrations, "
+                  f"{result.deferred} I/Os deferred, {result.hangs} hung")
+        print()
+        if problems:
+            for problem in problems:
+                print(f"upgrade: inconsistent with analytic rollout: {problem}",
+                      file=sys.stderr)
+        if store is not None:
+            print(f"artifacts: {store.root} ({store.writes} written, "
+                  f"{store.hits} cache hits)")
+    # Scriptable contract, same as `failover`: nonzero when I/Os hung.
+    return 2 if hangs else 0

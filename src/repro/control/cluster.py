@@ -1,0 +1,235 @@
+"""A controlled fleet: per-stack deployments side by side on one clock.
+
+The rollout experiments of Figure 7 need something no single
+:class:`~repro.ebs.deployment.EbsDeployment` provides: servers running
+*different* FN stacks at the same simulated instant, with the control
+plane moving virtual disks between them while guests keep issuing I/O.
+:class:`ControlledCluster` builds one deployment per stack on a shared
+:class:`~repro.sim.engine.Simulator` and models the fleet as logical
+servers — each a VD plus an open-loop paced writer — that the upgrade
+engine migrates from stack to stack.
+
+Determinism: deployments are constructed in :data:`UPGRADE_ORDER`, server
+state is touched only from simulator events, and every recorded sample is
+simulated-time data, so a cluster run is a pure function of its spec and
+seed (the property `repro.lab` caching relies on).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..ebs.deployment import DeploymentSpec, EbsDeployment
+from ..ebs.virtual_disk import VirtualDisk
+from ..faults.injection import IoHangMonitor
+from ..lab.spec import UPGRADE_ORDER
+from ..sim.engine import Simulator
+from ..sim.events import SECOND
+from .migration import DEFAULT_ATTACH_NS, LiveMigration, MigrationReport
+
+#: Compact per-stack deployment shape for fleet drills: enough compute
+#: hosts to spread the logical servers, a small Clos, four storage hosts.
+FLEET_DEPLOYMENT = DeploymentSpec(
+    compute_racks=2,
+    compute_hosts_per_rack=4,
+    storage_racks=1,
+    storage_hosts_per_rack=4,
+)
+
+
+@dataclass
+class LogicalServer:
+    """One fleet member: its VD, current stack, and per-server counters."""
+
+    index: int
+    name: str
+    stack: str
+    vd: VirtualDisk
+    issued: int = 0
+    completed: int = 0
+    failed: int = 0
+    #: Guest submissions held back while the VD was paused for migration.
+    deferred: int = 0
+    migrations: int = 0
+    migrating: bool = False
+    #: Closed [start, end) spans during which the server was unavailable.
+    pause_intervals: List[Tuple[int, int]] = field(default_factory=list)
+
+    def downtime_in(self, start_ns: int, end_ns: int) -> int:
+        """Unavailable time overlapping the [start_ns, end_ns) window."""
+        total = 0
+        for lo, hi in self.pause_intervals:
+            total += max(0, min(hi, end_ns) - max(lo, start_ns))
+        return total
+
+
+class ControlledCluster:
+    """Per-stack deployments + logical servers + live load on one clock."""
+
+    def __init__(
+        self,
+        stacks: Sequence[str],
+        servers: int,
+        seed: int = 0,
+        deployment: DeploymentSpec = FLEET_DEPLOYMENT,
+        vd_size_bytes: int = 64 * 1024 * 1024,
+        io_gap_ns: int = 500_000,
+        io_size_bytes: int = 4096,
+        hang_threshold_ns: int = 1 * SECOND,
+        attach_latency_ns: int = DEFAULT_ATTACH_NS,
+    ):
+        if not stacks:
+            raise ValueError("cluster needs at least one stack")
+        unknown = [s for s in stacks if s not in UPGRADE_ORDER]
+        if unknown:
+            raise ValueError(f"stacks {unknown} not in {UPGRADE_ORDER}")
+        if servers < 1:
+            raise ValueError(f"need at least one server, got {servers}")
+        self.seed = seed
+        self.io_gap_ns = io_gap_ns
+        self.io_size_bytes = io_size_bytes
+        self.sim = Simulator(seed=seed)
+        self.hang_monitor = IoHangMonitor(self.sim, threshold_ns=hang_threshold_ns)
+        self.migrator = LiveMigration(self.sim, attach_latency_ns)
+        self.deployments: Dict[str, EbsDeployment] = {}
+        for stack in UPGRADE_ORDER:  # fixed construction order
+            if stack in stacks:
+                self.deployments[stack] = EbsDeployment(
+                    dataclasses.replace(deployment, stack=stack, seed=seed),
+                    sim=self.sim,
+                )
+        initial = next(s for s in UPGRADE_ORDER if s in stacks)
+        self.servers: List[LogicalServer] = []
+        first = self.deployments[initial]
+        hosts = first.compute_host_names()
+        for i in range(servers):
+            vd = VirtualDisk(
+                first, f"srv{i}-vd", hosts[i % len(hosts)], vd_size_bytes
+            )
+            self.servers.append(
+                LogicalServer(index=i, name=f"srv{i}", stack=initial, vd=vd)
+            )
+        self.migration_reports: List[MigrationReport] = []
+        #: Completed-I/O samples: (issue_ns, latency_ns, server_index).
+        self.samples: List[Tuple[int, int, int]] = []
+        self._load_until_ns: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Live load
+    # ------------------------------------------------------------------
+    def start_load(self, until_ns: int) -> None:
+        """Start one paced open-loop writer per server, issuing until
+        ``until_ns``.  Deferred ticks (VD paused for migration) count as
+        queued guest I/O, never as errors."""
+        if self._load_until_ns is not None:
+            raise RuntimeError("cluster load already started")
+        self._load_until_ns = until_ns
+        for server in self.servers:
+            self.sim.call_soon(self._tick, server)
+
+    def _tick(self, server: LogicalServer) -> None:
+        if self.sim.now >= self._load_until_ns:
+            return
+        vd = server.vd
+        if vd.paused or vd.detached:
+            server.deferred += 1
+        else:
+            span = vd.size_bytes - self.io_size_bytes
+            offset = (server.issued * self.io_size_bytes) % span if span > 0 else 0
+            offset -= offset % 4096
+            issued_at = self.sim.now
+            io = vd.write(
+                offset,
+                self.io_size_bytes,
+                lambda done, s=server, t=issued_at: self._io_done(s, t, done),
+            )
+            self.hang_monitor.watch(io)
+            server.issued += 1
+        self.sim.schedule(self.io_gap_ns, self._tick, server)
+
+    def _io_done(self, server: LogicalServer, issued_at: int, io) -> None:
+        if io.trace is not None and io.trace.ok:
+            server.completed += 1
+            self.samples.append((issued_at, self.sim.now - issued_at, server.index))
+        else:
+            server.failed += 1
+
+    # ------------------------------------------------------------------
+    # Control-plane actions
+    # ------------------------------------------------------------------
+    def upgrade_server(
+        self,
+        server: LogicalServer,
+        to_stack: str,
+        on_done: Optional[Callable[[LogicalServer, MigrationReport], None]] = None,
+    ) -> None:
+        """Hot-upgrade one server: live-migrate its VD to ``to_stack``."""
+        if server.migrating:
+            raise RuntimeError(f"{server.name} is already migrating")
+        target = self.deployments[to_stack]
+        hosts = target.compute_host_names()
+        target_host = hosts[server.index % len(hosts)]
+        server.migrating = True
+
+        def finish(new_vd: VirtualDisk, report: MigrationReport) -> None:
+            server.vd = new_vd
+            server.stack = to_stack
+            server.migrations += 1
+            server.migrating = False
+            server.pause_intervals.append((report.started_ns, report.attached_ns))
+            self.migration_reports.append(report)
+            if on_done is not None:
+                on_done(server, report)
+
+        self.migrator.migrate(server.vd, target, target_host, finish)
+
+    # ------------------------------------------------------------------
+    # Fleet accounting
+    # ------------------------------------------------------------------
+    def mix(self) -> Dict[str, float]:
+        """Current fraction of the fleet on each stack."""
+        counts: Dict[str, int] = {}
+        for server in self.servers:
+            counts[server.stack] = counts.get(server.stack, 0) + 1
+        return {
+            stack: counts.get(stack, 0) / len(self.servers)
+            for stack in self.deployments
+        }
+
+    def availability(self, start_ns: int, end_ns: int) -> float:
+        """1 - (fleet downtime / fleet time) over a window."""
+        window = end_ns - start_ns
+        if window <= 0:
+            raise ValueError(f"empty window [{start_ns}, {end_ns})")
+        down = sum(s.downtime_in(start_ns, end_ns) for s in self.servers)
+        return 1.0 - down / (window * len(self.servers))
+
+    def component_totals(self) -> Tuple[Dict[str, int], int]:
+        """Summed SA/FN/BN/SSD trace time and trace count, all stacks."""
+        totals = {c: 0 for c in ("sa", "fn", "bn", "ssd")}
+        count = 0
+        for stack in self.deployments:
+            traces = self.deployments[stack].collector.completed()
+            count += len(traces)
+            for trace in traces:
+                for component in totals:
+                    totals[component] += trace.components[component]
+        return totals, count
+
+    @property
+    def issued(self) -> int:
+        return sum(s.issued for s in self.servers)
+
+    @property
+    def completed(self) -> int:
+        return sum(s.completed for s in self.servers)
+
+    @property
+    def failed(self) -> int:
+        return sum(s.failed for s in self.servers)
+
+    @property
+    def deferred(self) -> int:
+        return sum(s.deferred for s in self.servers)

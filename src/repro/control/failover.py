@@ -1,0 +1,125 @@
+"""Orchestrated failover: incidents in, segment re-routing out.
+
+Table 2 and §5 describe one recovery playbook used across every failure
+scenario: detect the dead component, move the segments it hosted to
+healthy block/chunk servers, and push the new mapping to the agents.  The
+benchmarks used to hand-roll pieces of this per scenario; the
+:class:`FailoverOrchestrator` packages it as a single policy-driven loop
+on top of the health monitor, so a drill is "inject fault, run, read the
+recovery records".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..ebs.deployment import EbsDeployment
+from ..sim.events import MS
+from .health import HEARTBEAT_LOSS, HealthMonitor, Incident
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """How aggressively the orchestrator converts incidents to re-routes.
+
+    ``reroute_delay_ns`` models the control plane's decision + table-push
+    time between an incident being declared and the new segment mapping
+    taking effect fleet-wide.
+    """
+
+    reroute_delay_ns: int = 50 * MS
+
+    def __post_init__(self) -> None:
+        if self.reroute_delay_ns < 0:
+            raise ValueError(f"negative reroute delay: {self.reroute_delay_ns}")
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One completed evacuation, with its end-to-end timeline."""
+
+    node: str
+    detected_ns: int
+    rerouted_ns: int
+    segments_moved: int
+    vds_touched: Tuple[str, ...]
+
+    @property
+    def recovery_ns(self) -> int:
+        """Incident declaration to mapping push — the Table 2 clock."""
+        return self.rerouted_ns - self.detected_ns
+
+
+class FailoverOrchestrator:
+    """Reacts to heartbeat-loss incidents by evacuating the dead server."""
+
+    def __init__(
+        self,
+        deployment: EbsDeployment,
+        monitor: HealthMonitor,
+        policy: FailoverPolicy = FailoverPolicy(),
+    ):
+        self.deployment = deployment
+        self.sim = deployment.sim
+        self.monitor = monitor
+        self.policy = policy
+        self.records: List[RecoveryRecord] = []
+        self._evacuated: set = set()
+        monitor.subscribe(self._on_incident)
+
+    # ------------------------------------------------------------------
+    def watch_storage(self) -> None:
+        """Register every storage server's reachability as its heartbeat.
+
+        A server whose every uplink is down (ToR death, cable cut, host
+        power loss) stops heartbeating; a data-plane blackhole with PHYs
+        up does *not* — exactly the asymmetry that made Table 2's silent
+        failures the hard rows, which is why the monitor also consumes
+        I/O-hang signals.
+        """
+        topology = self.deployment.topology
+        for name in sorted(self.deployment.storage_servers):
+            host = topology.hosts[name]
+            self.monitor.register(
+                name, lambda h=host: any(ch.up for ch in h.uplinks)
+            )
+
+    def _alive(self, name: str) -> bool:
+        host = self.deployment.topology.hosts[name]
+        return any(ch.up for ch in host.uplinks)
+
+    # ------------------------------------------------------------------
+    def _on_incident(self, incident: Incident) -> None:
+        if incident.kind != HEARTBEAT_LOSS:
+            return
+        if incident.node not in self.deployment.storage_servers:
+            return
+        if incident.node in self._evacuated:
+            return
+        self._evacuated.add(incident.node)
+        self.sim.schedule(self.policy.reroute_delay_ns, self._evacuate, incident)
+
+    def _evacuate(self, incident: Incident) -> None:
+        healthy = [
+            name
+            for name in sorted(self.deployment.storage_servers)
+            if name != incident.node and self._alive(name)
+        ]
+        changed = self.deployment.segment_table.evacuate(incident.node, healthy)
+        for vd_id in sorted(changed):
+            self.deployment.refresh_vd(vd_id)
+        self.records.append(
+            RecoveryRecord(
+                node=incident.node,
+                detected_ns=incident.detected_ns,
+                rerouted_ns=self.sim.now,
+                segments_moved=sum(changed.values()),
+                vds_touched=tuple(sorted(changed)),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def segments_moved(self) -> int:
+        return sum(record.segments_moved for record in self.records)

@@ -21,7 +21,7 @@ with W_c updated once per RTT (HPCC's "reference window" rule).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..net.packet import IntRecord
 

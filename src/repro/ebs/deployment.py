@@ -17,7 +17,7 @@ offload disabled, §4.7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from ..agent.base import IoRequest, StorageAgent
@@ -94,10 +94,18 @@ class DeploymentSpec:
 class EbsDeployment:
     """A runnable EBS installation under one FN stack."""
 
-    def __init__(self, spec: DeploymentSpec, profiles: Profiles = DEFAULT):
+    def __init__(
+        self,
+        spec: DeploymentSpec,
+        profiles: Profiles = DEFAULT,
+        sim: Optional[Simulator] = None,
+    ):
         self.spec = spec
         self.profiles = profiles.with_overrides(sa={"encrypt": spec.encrypt_payloads})
-        self.sim = Simulator(seed=spec.seed)
+        #: Passing ``sim`` lets several deployments share one clock — the
+        #: control plane (repro.control) runs per-stack installations side
+        #: by side inside a single simulation.
+        self.sim = Simulator(seed=spec.seed) if sim is None else sim
         self.collector = TraceCollector()
         self.segment_table = SegmentTable()
         self.qos_table = QosTable()
@@ -258,6 +266,21 @@ class EbsDeployment:
             vd_id, size_bytes, storage_names, storage_names
         )
         self.qos_table.install(vd_id, qos)
+        for offload in self.solar_offloads.values():
+            offload.install_vd(vd_id, segments)
+
+    def has_vd(self, vd_id: str) -> bool:
+        """Whether ``vd_id`` is provisioned on this deployment."""
+        return vd_id in self.segment_table
+
+    def refresh_vd(self, vd_id: str) -> None:
+        """Re-push a VD's (possibly reassigned) segments to the datapath.
+
+        The software stacks look segments up per I/O, but SOLAR's offload
+        caches them in hardware tables — after the control plane moves
+        segments (failover, rebalance) those tables must be re-installed.
+        """
+        segments = self.segment_table.segments_of(vd_id)
         for offload in self.solar_offloads.values():
             offload.install_vd(vd_id, segments)
 

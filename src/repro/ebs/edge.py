@@ -26,7 +26,7 @@ from dataclasses import replace as dc_replace
 from typing import Callable, Dict, List, Optional
 
 from ..agent.base import IoRequest, StorageAgent
-from ..core.solar import SolarClient, SolarRpc, SolarServer
+from ..core.solar import SolarClient, SolarRpc
 from ..host.server import ComputeServer
 from ..metrics.trace import IoTrace, TraceCollector
 from ..profiles import BLOCK_SIZE, Profiles

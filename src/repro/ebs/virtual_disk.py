@@ -1,13 +1,24 @@
-"""Virtual disk facade: the guest-visible device (§2.1)."""
+"""Virtual disk facade: the guest-visible device (§2.1).
+
+Beyond plain read/write submission, the VD tracks its in-flight I/Os and
+exposes the control-plane hooks the paper's operational machinery needs
+(§5, Table 2): ``pause`` stops admission, ``when_drained`` fires once all
+in-flight I/Os have completed, and ``detach`` retires the device after a
+live migration has re-attached it elsewhere (`repro.control.migration`).
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..agent.base import IoRequest
 from ..profiles import BLOCK_SIZE
 from .deployment import EbsDeployment, GENEROUS_QOS
 from ..storage.qos import QosSpec
+
+
+class VdStateError(RuntimeError):
+    """I/O submitted against a paused or detached virtual disk."""
 
 
 class VirtualDisk:
@@ -30,8 +41,53 @@ class VirtualDisk:
             deployment.provision_vd(vd_id, size_bytes, qos)
         self.reads = 0
         self.writes = 0
+        #: In-flight I/Os by io_id — the connection-draining state the
+        #: control plane inspects during migration and hot upgrade.
+        self.inflight: Dict[int, IoRequest] = {}
+        self.paused = False
+        self.detached = False
+        self._drain_waiters: List[Callable[[], None]] = []
 
+    # ------------------------------------------------------------------
+    # Control-plane hooks
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Stop admitting guest I/O.  In-flight I/Os keep running."""
+        self.paused = True
+
+    def resume(self) -> None:
+        if self.detached:
+            raise VdStateError(f"VD {self.vd_id!r} is detached")
+        self.paused = False
+
+    def detach(self) -> None:
+        """Retire this attachment for good (post-migration source side)."""
+        self.paused = True
+        self.detached = True
+
+    def when_drained(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once no I/O is in flight (maybe immediately)."""
+        if not self.inflight:
+            self.deployment.sim.call_soon(callback)
+        else:
+            self._drain_waiters.append(callback)
+
+    def _finish(self, io: IoRequest, on_complete: Callable[[IoRequest], None]) -> None:
+        self.inflight.pop(io.io_id, None)
+        on_complete(io)
+        if not self.inflight and self._drain_waiters:
+            waiters, self._drain_waiters = self._drain_waiters, []
+            for waiter in waiters:
+                self.deployment.sim.call_soon(waiter)
+
+    # ------------------------------------------------------------------
+    # Guest I/O
+    # ------------------------------------------------------------------
     def _check_range(self, offset: int, size: int) -> None:
+        if self.detached:
+            raise VdStateError(f"VD {self.vd_id!r} is detached")
+        if self.paused:
+            raise VdStateError(f"VD {self.vd_id!r} is paused for migration")
         if offset < 0 or size <= 0 or offset + size > self.size_bytes:
             raise ValueError(
                 f"I/O [{offset}, {offset + size}) outside VD of {self.size_bytes}B"
@@ -48,15 +104,21 @@ class VirtualDisk:
     ) -> IoRequest:
         self._check_range(offset, size)
         self.writes += 1
-        return self.deployment.submit_io(
-            self.host_name, "write", self.vd_id, offset, size, on_complete, data=data
+        io = self.deployment.submit_io(
+            self.host_name, "write", self.vd_id, offset, size,
+            lambda done: self._finish(done, on_complete), data=data,
         )
+        self.inflight[io.io_id] = io
+        return io
 
     def read(
         self, offset: int, size: int, on_complete: Callable[[IoRequest], None]
     ) -> IoRequest:
         self._check_range(offset, size)
         self.reads += 1
-        return self.deployment.submit_io(
-            self.host_name, "read", self.vd_id, offset, size, on_complete
+        io = self.deployment.submit_io(
+            self.host_name, "read", self.vd_id, offset, size,
+            lambda done: self._finish(done, on_complete),
         )
+        self.inflight[io.io_id] = io
+        return io

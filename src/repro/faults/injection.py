@@ -10,7 +10,7 @@ I/O eventually completes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Optional
 
 from ..agent.base import IoRequest
 from ..net.failures import FailureScenario
@@ -20,11 +20,22 @@ from ..sim.events import SECOND
 
 
 class IoHangMonitor:
-    """Counts I/Os that stay unanswered past a threshold."""
+    """Counts I/Os that stay unanswered past a threshold.
 
-    def __init__(self, sim: Simulator, threshold_ns: int = 1 * SECOND):
+    ``on_hang`` (if given) receives each I/O the moment its threshold
+    crossing is detected — this is the hang-signal feed the control
+    plane's :class:`repro.control.health.HealthMonitor` subscribes to.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        threshold_ns: int = 1 * SECOND,
+        on_hang: Optional[Callable[[IoRequest], None]] = None,
+    ):
         self.sim = sim
         self.threshold_ns = threshold_ns
+        self.on_hang = on_hang
         self.hangs = 0
         self.completed_after_hang = 0
         self._watched = 0
@@ -39,8 +50,12 @@ class IoHangMonitor:
         if trace is None or trace.complete_ns is None:
             self.hangs += 1
             io.__dict__["_hang_flagged"] = True
+            if self.on_hang is not None:
+                self.on_hang(io)
         elif trace.complete_ns > trace.submit_ns + self.threshold_ns:
             self.hangs += 1
+            if self.on_hang is not None:
+                self.on_hang(io)
 
     def note_completion(self, io: IoRequest) -> None:
         if io.__dict__.get("_hang_flagged"):

@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..ebs import DeploymentSpec, STACKS
 from ..sim import MS

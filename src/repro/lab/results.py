@@ -11,7 +11,7 @@ is across seeds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from ..metrics.stats import LatencyStats, mean_ci
 from .spec import ExperimentSpec

@@ -71,6 +71,13 @@ def execute_point(spec: ExperimentSpec, seed: int) -> Dict[str, Any]:
     wall-clock readings), so the same point always yields the same bytes
     under :func:`repro.lab.spec.canonical_json`.
     """
+    if spec.upgrade is not None:
+        # Control-plane drills replace the plain workload entirely.  Lazy
+        # import: repro.control imports repro.lab.spec, so the module-level
+        # direction must stay lab <- control.
+        from ..control.drill import execute_upgrade_point
+
+        return execute_upgrade_point(spec, seed)
     dep = EbsDeployment(dataclasses.replace(spec.deployment, seed=seed))
     host = dep.compute_host_names()[0]
     vd = VirtualDisk(dep, "lab-vd0", host, spec.vd_size_mb * 1024 * 1024)

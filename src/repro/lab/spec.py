@@ -31,12 +31,16 @@ from ..net.failures import (
     switch_reboot,
     tor_port_failure,
 )
-from ..sim import MS, SECOND
+from ..sim import MS, SECOND, US
 
 #: Bump when the artifact layout changes: old cache entries stop matching.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 WORKLOAD_MODES = ("fio", "isolated", "trace")
+
+#: The fleet's deployment history (Figure 7): hot upgrades only ever move
+#: a server forward along this chain.
+UPGRADE_ORDER = ("kernel", "luna", "solar")
 
 
 def canonical_json(obj: Any) -> bytes:
@@ -155,6 +159,74 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class UpgradeSpec:
+    """A declarative rolling hot-upgrade drill (Figure 7's rollout).
+
+    ``servers`` logical servers start on ``from_stack`` and are upgraded
+    in ``waves`` contiguous groups along :data:`UPGRADE_ORDER` until all
+    run ``to_stack``, under live paced load.  Each wave occupies one
+    ``wave_window_ns`` measurement window; ``baseline_waves`` windows run
+    before the first migration and ``settle_waves`` after the last, so the
+    drill brackets the rollout with pure from-stack / to-stack readings.
+
+    When an :class:`ExperimentSpec` carries an ``upgrade``, its
+    ``workload`` field is ignored — the drill's fleet load is defined by
+    ``io_gap_ns``/``io_size_bytes`` here (one open-loop paced writer per
+    server).
+    """
+
+    from_stack: str = "kernel"
+    to_stack: str = "luna"
+    servers: int = 8
+    waves: int = 4
+    wave_window_ns: int = 5 * MS
+    baseline_waves: int = 1
+    settle_waves: int = 1
+    #: Gap between consecutive server migrations inside one wave.
+    stagger_ns: int = 200 * US
+    #: Per-server paced-writer cadence and I/O size (the live load).
+    io_gap_ns: int = 500 * US
+    io_size_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        for stack in (self.from_stack, self.to_stack):
+            if stack not in UPGRADE_ORDER:
+                raise ValueError(
+                    f"upgrade stacks must be in {UPGRADE_ORDER}, got {stack!r}"
+                )
+        if UPGRADE_ORDER.index(self.from_stack) >= UPGRADE_ORDER.index(self.to_stack):
+            raise ValueError(
+                f"upgrades only move forward along {UPGRADE_ORDER}: "
+                f"{self.from_stack!r} -> {self.to_stack!r}"
+            )
+        if self.servers < 1:
+            raise ValueError(f"need at least one server, got {self.servers}")
+        if self.waves < 1 or self.waves > self.servers:
+            raise ValueError(
+                f"waves must be in [1, servers={self.servers}], got {self.waves}"
+            )
+        if self.wave_window_ns <= 0:
+            raise ValueError(f"wave window must be positive: {self.wave_window_ns}")
+        if self.baseline_waves < 0 or self.settle_waves < 0:
+            raise ValueError("baseline/settle wave counts cannot be negative")
+        if self.stagger_ns < 0 or self.io_gap_ns <= 0 or self.io_size_bytes <= 0:
+            raise ValueError(f"invalid upgrade load parameters: {self}")
+
+    def hops(self) -> List[Tuple[str, str]]:
+        """Consecutive (from, to) stack pairs this upgrade rolls through."""
+        lo = UPGRADE_ORDER.index(self.from_stack)
+        hi = UPGRADE_ORDER.index(self.to_stack)
+        return [
+            (UPGRADE_ORDER[i], UPGRADE_ORDER[i + 1]) for i in range(lo, hi)
+        ]
+
+    @property
+    def total_waves(self) -> int:
+        """Measurement windows: baseline + one per wave per hop + settle."""
+        return self.baseline_waves + len(self.hops()) * self.waves + self.settle_waves
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One named experiment: deployment x workload x faults x seeds."""
 
@@ -167,6 +239,9 @@ class ExperimentSpec:
     hang_threshold_ns: int = 1 * SECOND
     #: Absolute run bound; None derives one from the workload horizon.
     until_ns: Optional[int] = None
+    #: When set, the point runs a control-plane rolling-upgrade drill
+    #: (``repro.control``) instead of the plain workload.
+    upgrade: Optional[UpgradeSpec] = None
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -191,11 +266,13 @@ class ExperimentSpec:
         w = dict(d.pop("workload"))
         w["block_sizes"] = tuple(w["block_sizes"])
         w["records"] = tuple(tuple(r) for r in w["records"])
+        upgrade = d.pop("upgrade", None)
         return cls(
             deployment=DeploymentSpec(**d.pop("deployment")),
             workload=WorkloadSpec(**w),
             faults=tuple(FaultSpec(**f) for f in d.pop("faults")),
             seeds=tuple(d.pop("seeds")),
+            upgrade=UpgradeSpec(**upgrade) if upgrade is not None else None,
             **d,
         )
 

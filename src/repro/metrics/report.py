@@ -4,7 +4,7 @@ dependencies."""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from .trace import COMPONENTS, TraceCollector
 

@@ -10,9 +10,9 @@ their blast radius.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List
 
-from ..sim.events import MS, SECOND
+from ..sim.events import SECOND
 from .topology import ClosTopology
 
 

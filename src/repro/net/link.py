@@ -14,7 +14,7 @@ is the channel the packet arrived on.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Protocol
 
 from ..profiles import bytes_time_ns
 from ..sim.engine import Simulator

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict
 
-from .sim.events import MS, US
+from .sim.events import MS
 
 KB = 1024
 MB = 1024 * 1024

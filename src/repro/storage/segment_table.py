@@ -9,6 +9,7 @@ that I/O splitting across block servers stays rare.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
@@ -109,6 +110,61 @@ class SegmentTable:
             chunk_servers, key=lambda cs: cls._spread(f"{seg_id}|{cs}", "rep")
         )
         return tuple(ranked[:replicas])
+
+    # ------------------------------------------------------------------
+    # Control-plane operations (repro.control.failover)
+    # ------------------------------------------------------------------
+    def __contains__(self, vd_id: str) -> bool:
+        return vd_id in self._segments
+
+    def vd_ids(self) -> List[str]:
+        return sorted(self._segments)
+
+    def segments_on(self, server: str) -> List[Tuple[str, int, Segment]]:
+        """Every (vd_id, index, segment) hosted by or replicated on
+        ``server``, in deterministic (vd, index) order."""
+        out: List[Tuple[str, int, Segment]] = []
+        for vd_id in sorted(self._segments):
+            for index, seg in enumerate(self._segments[vd_id]):
+                if seg.block_server == server or server in seg.replicas:
+                    out.append((vd_id, index, seg))
+        return out
+
+    def evacuate(self, server: str, replacements: Sequence[str]) -> Dict[str, int]:
+        """Move every segment off a failed server — the §2.2 "segments on
+        the failed block server are re-routed to other block servers"
+        recovery path, made reusable for the failover orchestrator.
+
+        ``server`` loses its role both as hosting block server and as
+        replica; replacement picks are hash-spread so recovery placement
+        is deterministic.  Returns ``{vd_id: segments_changed}``.
+        """
+        if not replacements:
+            raise ValueError("evacuation needs at least one healthy server")
+        if server in replacements:
+            raise ValueError(f"cannot evacuate {server!r} onto itself")
+        changed: Dict[str, int] = {}
+        for vd_id, index, seg in self.segments_on(server):
+            new_bs = seg.block_server
+            if new_bs == server:
+                new_bs = replacements[
+                    self._spread(seg.segment_id, "fo-bs") % len(replacements)
+                ]
+            new_reps = seg.replicas
+            if server in new_reps:
+                pool = [r for r in replacements if r not in new_reps]
+                if not pool:
+                    raise ValueError(
+                        f"no replacement replica for {seg.segment_id}: all of "
+                        f"{list(replacements)} already hold a copy"
+                    )
+                pick = pool[self._spread(seg.segment_id, "fo-rep") % len(pool)]
+                new_reps = tuple(pick if r == server else r for r in new_reps)
+            self._segments[vd_id][index] = dataclasses.replace(
+                seg, block_server=new_bs, replicas=new_reps
+            )
+            changed[vd_id] = changed.get(vd_id, 0) + 1
+        return changed
 
     # ------------------------------------------------------------------
     def segments_of(self, vd_id: str) -> List[Segment]:

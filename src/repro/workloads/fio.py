@@ -8,8 +8,7 @@ a read/write ratio, random aligned offsets, and summary statistics
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..agent.base import IoRequest

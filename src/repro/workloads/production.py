@@ -14,21 +14,18 @@ Two layers:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..agent.base import IoRequest
 from ..ebs.virtual_disk import VirtualDisk
-from ..metrics.series import TimeSeries
 from ..metrics.stats import LatencyStats
 from ..sim.engine import Simulator
-from ..sim.events import MS, SECOND
 from .distributions import (
     EBS_TX_SHARE,
     READ_FRACTION,
     SizeDistribution,
     diurnal_iops,
-    sample_kind,
     weekly_modulation,
 )
 

@@ -6,7 +6,6 @@ import pytest
 from repro.agent.rpc import StorageRpcPayload
 from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
 from repro.profiles import BLOCK_SIZE
-from repro.sim import MS
 
 
 def deploy(stack, **kwargs):

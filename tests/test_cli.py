@@ -45,6 +45,24 @@ class TestCli:
         watched = lambda text: int(text.split(":")[1].split()[0])  # noqa: E731
         assert watched(short) < watched(full)
 
+    def test_failover_window_shorter_than_threshold_errors(self, capsys):
+        # Regression: the old `until // 4` issue window silently watched
+        # zero I/Os on short runs and reported a vacuous "0 hung".  A
+        # window that cannot watch a single I/O to its hang deadline is
+        # now a usage error, not a fake pass.
+        assert main(["failover", "--stack", "solar", "--until-ms", "800"]) == 2
+        captured = capsys.readouterr()
+        assert "shorter than the 1000ms hang threshold" in captured.err
+        assert "0 hung" not in captured.out
+
+    def test_failover_watches_at_least_one_io(self, capsys):
+        # The issue window is until - threshold, so any accepted window
+        # watches a non-vacuous number of I/Os.
+        assert main(["failover", "--stack", "solar", "--until-ms", "1100"]) == 0
+        out = capsys.readouterr().out
+        watched = int(out.split(":")[1].split()[0])
+        assert watched >= 1
+
 
 def sweep_args(seeds="0,1", *extra):
     return [
@@ -67,8 +85,9 @@ class TestSweepCli:
         second = capsys.readouterr().out
         assert "0 simulated, 2 cached" in second
         # identical aggregate rows either way
-        row = [l for l in first.splitlines() if l.startswith("clitest/solar")]
-        assert row == [l for l in second.splitlines() if l.startswith("clitest/solar")]
+        row = [line for line in first.splitlines() if line.startswith("clitest/solar")]
+        assert row == [line for line in second.splitlines()
+                       if line.startswith("clitest/solar")]
 
     def test_sweep_json_output(self, tmp_path, capsys):
         import json
@@ -89,3 +108,53 @@ class TestSweepCli:
         assert main(sweep_args("0", "--no-store")) == 0
         out = capsys.readouterr().out
         assert "artifacts:" not in out
+
+
+def upgrade_args(*extra):
+    return [
+        "upgrade", "--from", "kernel", "--to", "luna", "--servers", "4",
+        "--waves", "2", "--vd-size-mb", "32", *extra,
+    ]
+
+
+class TestUpgradeCli:
+    def test_upgrade_drill_runs_clean(self, capsys):
+        assert main(upgrade_args("--seed", "42", "--no-store")) == 0
+        out = capsys.readouterr().out
+        assert "rolling upgrade kernel -> luna" in out
+        assert "availability" in out
+        assert "0 hung" in out
+        # One row per wave: baseline + 2 upgrade waves + settle.
+        assert out.count("upgrade   ") >= 2
+        assert "baseline" in out and "settle" in out
+
+    def test_upgrade_served_from_cache_second_time(self, tmp_path, capsys):
+        args = upgrade_args("--seed", "7", "--store", str(tmp_path / "lab"))
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "1 written" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "1 cache hits" in second
+        # The rendered wave tables are identical either way.
+        tail = lambda text: text.splitlines()[1:10]  # noqa: E731
+        assert tail(first) == tail(second)
+
+    def test_upgrade_json_output(self, capsys):
+        import json
+
+        assert main(upgrade_args("--seed", "0", "--no-store", "--json")) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["hangs"] == 0
+        assert payload["consistent"] is True
+        seed = payload["seeds"][0]
+        assert seed["terminal_mix"]["luna"] == 1.0
+        assert len(seed["waves"]) == 4
+        assert all(0.9 <= w["availability"] <= 1.0 for w in seed["waves"])
+
+    def test_upgrade_rejects_backward_rollout(self, capsys):
+        # argparse constrains --from/--to choices, so exercise the spec
+        # validation through equal stacks.
+        assert main(["upgrade", "--from", "luna", "--to", "luna",
+                     "--no-store"]) == 2
+        assert "forward" in capsys.readouterr().err

@@ -27,7 +27,7 @@ from repro.core import (
 from repro.core.pipeline import MatchActionStage
 from repro.net.packet import IntRecord
 from repro.profiles import DEFAULT
-from repro.sim import MS, Simulator
+from repro.sim import Simulator
 from repro.storage.crc import crc32, crc32_raw
 
 

@@ -14,7 +14,6 @@ from repro.ebs import (
     fleet_evolution,
 )
 from repro.profiles import BLOCK_SIZE
-from repro.sim import MS
 
 
 def deploy(stack="luna", **kwargs):

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.multipath import MultipathManager
 from repro.core.probing import PROBE_BYTES, PathProber
-from repro.ebs import DeploymentSpec, EbsDeployment
 from repro.ebs.edge import LocalChunkBackend
 from repro.host.server import StorageServer
 from repro.net import ClosTopology, Endpoint, PodSpec

@@ -3,7 +3,6 @@ are exercised by their underlying APIs' tests; they run minutes-long
 simulations and are validated manually / in CI's long lane)."""
 
 import runpy
-import sys
 from pathlib import Path
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"

@@ -7,7 +7,6 @@
 
 import pytest
 
-from repro.core.probing import PathProber
 from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
 from repro.ebs.edge import EdgeReplicator, convert_to_edge
 from repro.profiles import BLOCK_SIZE

@@ -146,3 +146,68 @@ class TestTimedFault:
         fault = TimedFault(switch_blackhole("tor", 0.5), start_ns=10, end_ns=5)
         with pytest.raises(ValueError):
             fault.schedule(sim, topo)
+
+    def test_zero_duration_rejected(self):
+        # start == end would apply and revert at the same instant; the
+        # event order would then decide whether the fault ever existed.
+        from repro.net import ClosTopology, PodSpec
+        from repro.profiles import DEFAULT
+
+        sim = Simulator(seed=1)
+        topo = ClosTopology(sim, DEFAULT.network, [PodSpec("p", 1, 2)])
+        fault = TimedFault(switch_blackhole("tor", 0.5), start_ns=10 * MS,
+                           end_ns=10 * MS)
+        with pytest.raises(ValueError):
+            fault.schedule(sim, topo)
+
+    def test_overlapping_faults_on_same_switch(self):
+        # Two blackholes overlap on the same ToR.  Scenario state is
+        # last-writer-wins: the later apply overwrites the fraction, and
+        # either revert clears the switch entirely (reverts set 0.0, they
+        # do not unwind contributions).  Pin that down so overlapping
+        # schedules stay deterministic rather than order-dependent.
+        from repro.net import ClosTopology, PodSpec
+        from repro.profiles import DEFAULT
+
+        sim = Simulator(seed=1)
+        topo = ClosTopology(sim, DEFAULT.network, [PodSpec("p", 1, 2)])
+        TimedFault(switch_blackhole("tor", 0.5), 10 * MS, 50 * MS).schedule(sim, topo)
+        TimedFault(switch_blackhole("tor", 0.9), 20 * MS, 80 * MS).schedule(sim, topo)
+        tor = topo.switches_by_tier("tor")[0]
+        sim.run(until=15 * MS)
+        assert tor.blackhole_fraction == pytest.approx(0.5)
+        sim.run(until=30 * MS)  # second apply overwrites the first
+        assert tor.blackhole_fraction == pytest.approx(0.9)
+        sim.run(until=60 * MS)  # first revert clears the shared state
+        assert tor.blackhole_fraction == 0
+        sim.run(until=100 * MS)  # second revert is a harmless no-op
+        assert tor.blackhole_fraction == 0
+
+    def test_fault_after_run_window_is_noop(self):
+        # Scheduling a fault beyond the horizon the experiment runs to must
+        # neither fire nor crash the drained simulator.
+        from repro.net import ClosTopology, PodSpec
+        from repro.profiles import DEFAULT
+
+        sim = Simulator(seed=1)
+        topo = ClosTopology(sim, DEFAULT.network, [PodSpec("p", 1, 2)])
+        fault = TimedFault(switch_blackhole("tor", 0.5), start_ns=500 * MS,
+                           end_ns=600 * MS)
+        fault.schedule(sim, topo)
+        sim.run(until=100 * MS)
+        assert all(s.blackhole_fraction == 0 for s in topo.switches_by_tier("tor"))
+        assert sim.now <= 100 * MS
+
+
+class TestIncidentOutcome:
+    def test_hang_rate(self):
+        from repro.faults import IncidentOutcome
+
+        outcome = IncidentOutcome("blackhole", "luna", ios_issued=200, ios_hung=3)
+        assert outcome.hang_rate == pytest.approx(0.015)
+
+    def test_zero_issued_is_not_a_division_error(self):
+        from repro.faults import IncidentOutcome
+
+        outcome = IncidentOutcome("blackhole", "luna", ios_issued=0, ios_hung=0)
+        assert outcome.hang_rate == 0.0

@@ -11,7 +11,6 @@ from repro.net import (
     flow_hash,
     pick,
 )
-from repro.profiles import DEFAULT, bytes_time_ns
 from repro.sim import Simulator
 
 

@@ -1,6 +1,5 @@
 """End-to-end tests of the §4.8 dedicated-queue configuration."""
 
-import pytest
 
 from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
 from repro.net.queue import PriorityQueue

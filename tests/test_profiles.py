@@ -8,7 +8,6 @@ from repro.profiles import (
     BLOCK_SIZE,
     DEFAULT,
     NetworkProfile,
-    Profiles,
     bytes_time_ns,
 )
 

@@ -4,8 +4,7 @@ and integrity under injected FPGA faults."""
 
 import pytest
 
-from repro.core import SERVER_PORT, SolarOffload, data_packet_bytes
-from repro.core.solar import SolarClient, SolarServer
+from repro.core import data_packet_bytes
 from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
 from repro.faults import BitFlipInjector
 from repro.profiles import BLOCK_SIZE

@@ -225,6 +225,79 @@ class TestSegmentTable:
             assert a.start_lba + a.num_blocks == b.start_lba
 
 
+class TestSegmentEvacuation:
+    SERVERS = ["bs0", "bs1", "bs2", "bs3", "bs4"]
+
+    def _provision(self, size_mb=64):
+        table = SegmentTable()
+        table.provision(
+            "vd0", size_mb * 1024 * 1024, self.SERVERS, self.SERVERS
+        )
+        return table
+
+    def test_contains_and_vd_ids(self):
+        table = self._provision()
+        assert "vd0" in table
+        assert "ghost" not in table
+        assert table.vd_ids() == ["vd0"]
+
+    def test_evacuation_clears_the_server(self):
+        table = self._provision()
+        victim = "bs0"
+        before = len(table.segments_on(victim))
+        assert before > 0
+        healthy = [s for s in self.SERVERS if s != victim]
+        changed = table.evacuate(victim, healthy)
+        assert sum(changed.values()) == before
+        assert table.segments_on(victim) == []
+        # Placement invariants survive: host + 3 distinct replicas, none
+        # of them the victim.
+        for seg in table.segments_of("vd0"):
+            assert seg.block_server != victim
+            assert victim not in seg.replicas
+            assert len(set(seg.replicas)) == 3
+
+    def test_lookup_still_covers_vd_after_evacuation(self):
+        table = self._provision()
+        table.evacuate("bs1", ["bs0", "bs2", "bs3", "bs4"])
+        last = table.segments_of("vd0")[-1]
+        assert table.lookup("vd0", 0) is table.segments_of("vd0")[0]
+        assert table.lookup("vd0", last.end_lba - 1) is last
+
+    def test_evacuation_is_deterministic(self):
+        t1, t2 = self._provision(), self._provision()
+        healthy = ["bs1", "bs2", "bs3", "bs4"]
+        t1.evacuate("bs0", healthy)
+        t2.evacuate("bs0", healthy)
+        assert [
+            (s.block_server, s.replicas) for s in t1.segments_of("vd0")
+        ] == [(s.block_server, s.replicas) for s in t2.segments_of("vd0")]
+
+    def test_idle_server_evacuation_is_noop(self):
+        table = self._provision()
+        assert table.evacuate("not-hosting-anything", ["bs0"]) == {}
+
+    def test_empty_replacements_rejected(self):
+        table = self._provision()
+        with pytest.raises(ValueError):
+            table.evacuate("bs0", [])
+
+    def test_self_evacuation_rejected(self):
+        table = self._provision()
+        with pytest.raises(ValueError):
+            table.evacuate("bs0", ["bs0", "bs1"])
+
+    def test_no_available_replica_rejected(self):
+        # Every replacement already replicates some segment of a 3-server
+        # table, so the victim's replica slot cannot be re-homed.
+        table = SegmentTable()
+        table.provision(
+            "vd0", 2 * 1024 * 1024, ["bs0", "bs1", "bs2"], ["bs0", "bs1", "bs2"]
+        )
+        with pytest.raises(ValueError):
+            table.evacuate("bs0", ["bs1", "bs2"])
+
+
 class TestQos:
     def test_token_bucket_admits_within_rate(self):
         bucket = TokenBucket(rate_per_s=1000, burst=10)

@@ -5,7 +5,7 @@ import pytest
 from repro.host.cpu import CpuComplex
 from repro.net import ClosTopology, PodSpec
 from repro.profiles import DEFAULT
-from repro.sim import MS, Simulator, US
+from repro.sim import MS, Simulator
 from repro.transport import LunaTransport
 from repro.transport.stream import ACK_BYTES, Message, StreamConfig
 

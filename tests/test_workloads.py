@@ -5,13 +5,12 @@ import random
 import pytest
 
 from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
-from repro.sim import MS, Simulator
+from repro.sim import MS
 from repro.workloads import (
     EBS_TX_SHARE,
     FioSpec,
     IO_SIZE_PMF,
     ProductionWorkload,
-    READ_FRACTION,
     SizeDistribution,
     diurnal_iops,
     run_fio,
