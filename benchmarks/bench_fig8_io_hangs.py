@@ -22,6 +22,7 @@ from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
 from repro.faults import IoHangMonitor
 from repro.net.failures import switch_blackhole
 from repro.sim import MS, SECOND
+from repro.telemetry import SlowIoDiagnoser
 
 #: Fleet-scale fan-out per failing tier: VMs whose traffic crosses the
 #: failed device (rack ~ 40 VMs; spine ~ pod; core/DCR ~ multiple pods).
@@ -34,11 +35,17 @@ def measure_hang_fraction(tier: str) -> float:
     (a dead line card), under LUNA."""
     dep = EbsDeployment(DeploymentSpec(stack="luna", seed=81,
                                        compute_racks=2, compute_hosts_per_rack=2))
+    # The telemetry plane's diagnoser tallies the same hangs online; the
+    # parity assert below holds the streaming path to the offline counts.
+    diagnoser = SlowIoDiagnoser(slo_ns=1 * SECOND)
     monitors = {}
     vds = {}
     for i, host in enumerate(dep.compute_host_names()):
         vds[host] = VirtualDisk(dep, f"vd{i}", host, 256 * 1024 * 1024)
-        monitors[host] = IoHangMonitor(dep.sim, threshold_ns=1 * SECOND)
+        monitors[host] = IoHangMonitor(
+            dep.sim, threshold_ns=1 * SECOND,
+            on_hang=lambda io, host=host: diagnoser.observe_hang(io, node=host),
+        )
     scenario = switch_blackhole(tier if tier != "dc_router" else "core", 1.0)
     dep.sim.schedule_at(1 * MS, scenario.apply, dep.topology)
     counters = {host: 0 for host in vds}
@@ -54,7 +61,15 @@ def measure_hang_fraction(tier: str) -> float:
     for host in vds:
         issue(host)
     dep.run(until_ns=2 * SECOND)
+    # Online/offline parity: the streaming diagnoser saw exactly the
+    # hangs the per-host monitors counted, host by host.
+    for host, m in monitors.items():
+        assert diagnoser.hangs_by_node.get(host, 0) == m.hangs, (
+            f"{tier}/{host}: online tally {diagnoser.hangs_by_node.get(host, 0)} "
+            f"!= offline {m.hangs}"
+        )
     affected = sum(1 for m in monitors.values() if m.hangs > 0)
+    assert diagnoser.affected_nodes() == affected
     return affected / len(monitors)
 
 

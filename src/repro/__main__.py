@@ -8,6 +8,7 @@ Usage::
     python -m repro failover --stack luna --until-ms 2000
     python -m repro sweep --stacks solar,luna --seeds 0-3 --jobs 4
     python -m repro upgrade --from kernel --to luna --seed 42
+    python -m repro monitor --stack luna --fault blackhole:spine:1.0@30
 
 ``failover`` and ``upgrade`` exit nonzero (2) when I/O hangs are detected,
 so scripts can gate on them.  ``sweep`` and ``upgrade`` fan points across
@@ -26,6 +27,7 @@ from .faults import IoHangMonitor
 from .lab.cli import add_sweep_parser, cmd_sweep
 from .net.failures import switch_blackhole
 from .sim import MS, SECOND
+from .telemetry.cli import add_monitor_parser, cmd_monitor
 
 #: ``failover`` watches each I/O for this long before calling it hung
 #: (Table 2's "unanswered >= 1s" yardstick).
@@ -50,7 +52,8 @@ def cmd_info(_args) -> int:
 
     print(f"repro {__version__} — 'From Luna to Solar' (SIGCOMM 2022) reproduction")
     print(f"stacks: {', '.join(STACKS)}")
-    print("subcommands: info | latency | compare | failover | sweep | upgrade")
+    print("subcommands: info | latency | compare | failover | sweep | upgrade "
+          "| monitor")
     return 0
 
 
@@ -138,6 +141,7 @@ def main(argv=None) -> int:
 
     add_sweep_parser(sub)
     add_upgrade_parser(sub)
+    add_monitor_parser(sub)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -147,6 +151,7 @@ def main(argv=None) -> int:
         "failover": cmd_failover,
         "sweep": cmd_sweep,
         "upgrade": cmd_upgrade,
+        "monitor": cmd_monitor,
         None: cmd_info,
     }
     return handlers[args.command](args)

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from ..metrics.trace import IoTrace
 from ..profiles import BLOCK_SIZE
@@ -53,5 +53,23 @@ class IoRequest:
 class StorageAgent:
     """Common interface of the software SA and the SOLAR SA."""
 
+    #: I/O counters every SA maintains (subclasses set these in __init__);
+    #: the class-level zeros make ``scrape_counters`` total on any agent.
+    ios_submitted: int = 0
+    ios_completed: int = 0
+    ios_failed: int = 0
+
     def submit(self, io: IoRequest) -> None:
         raise NotImplementedError
+
+    def scrape_counters(self) -> Dict[str, int]:
+        """Monitoring scrape surface: this agent's I/O counters.
+
+        The telemetry plane (`repro.telemetry`) turns these into
+        per-node gauges; agents never push metrics themselves.
+        """
+        return {
+            "ios_submitted": self.ios_submitted,
+            "ios_completed": self.ios_completed,
+            "ios_failed": self.ios_failed,
+        }

@@ -28,6 +28,7 @@ from .failover import FailoverOrchestrator, FailoverPolicy, RecoveryRecord
 from .health import (
     HEARTBEAT_LOSS,
     IO_HANG,
+    TELEMETRY_ALERT,
     HealthMonitor,
     HealthPolicy,
     Incident,
@@ -54,6 +55,7 @@ __all__ = [
     "RecoveryRecord",
     "HEARTBEAT_LOSS",
     "IO_HANG",
+    "TELEMETRY_ALERT",
     "HealthMonitor",
     "HealthPolicy",
     "Incident",

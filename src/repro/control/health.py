@@ -22,6 +22,7 @@ from ..sim.events import MS, format_ns
 
 HEARTBEAT_LOSS = "heartbeat-loss"
 IO_HANG = "io-hang"
+TELEMETRY_ALERT = "telemetry-alert"
 
 
 @dataclass(frozen=True)
@@ -152,6 +153,12 @@ class HealthMonitor:
         return self.declare(
             IO_HANG, io.vd_id, detail=f"io#{io.io_id} {io.kind} unanswered"
         )
+
+    def report_alert(self, source: str, detail: str = "") -> Incident:
+        """Telemetry-alert inlet — the `repro.telemetry` AlertEvaluator
+        declares each fired rule here, so failover/upgrade machinery
+        reacts to metric thresholds exactly as it does to heartbeats."""
+        return self.declare(TELEMETRY_ALERT, source, detail=detail)
 
     # ------------------------------------------------------------------
     def open_incidents(self) -> List[Incident]:

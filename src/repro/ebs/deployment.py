@@ -312,3 +312,20 @@ class EbsDeployment:
 
     def run(self, until_ns: Optional[int] = None) -> int:
         return self.sim.run(until=until_ns)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_telemetry(self, plane) -> None:
+        """Expose this deployment's scrape surface to a telemetry plane.
+
+        Two hooks, both pull-based so the data path never blocks on
+        monitoring: every completed trace streams to the plane's online
+        diagnosis engine, and each storage agent's I/O counters become
+        per-node gauges (``StorageAgent.scrape_counters``).  VDs opt in
+        individually via ``plane.watch_vd`` — they are created after the
+        deployment, by the workload.
+        """
+        self.collector.subscribe(plane.on_trace)
+        for name in sorted(self.agents):
+            plane.register_agent(name, self.agents[name])

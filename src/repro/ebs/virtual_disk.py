@@ -47,6 +47,13 @@ class VirtualDisk:
         self.paused = False
         self.detached = False
         self._drain_waiters: List[Callable[[], None]] = []
+        #: Completion observers (telemetry scrape hook): every finished
+        #: I/O is shown to each observer before the guest callback runs.
+        self._observers: List[Callable[[IoRequest], None]] = []
+
+    def subscribe(self, observer: Callable[[IoRequest], None]) -> None:
+        """Observe every completed I/O of this VD (per-VD telemetry)."""
+        self._observers.append(observer)
 
     # ------------------------------------------------------------------
     # Control-plane hooks
@@ -74,6 +81,8 @@ class VirtualDisk:
 
     def _finish(self, io: IoRequest, on_complete: Callable[[IoRequest], None]) -> None:
         self.inflight.pop(io.io_id, None)
+        for observer in self._observers:
+            observer(io)
         on_complete(io)
         if not self.inflight and self._drain_waiters:
             waiters, self._drain_waiters = self._drain_waiters, []

@@ -82,6 +82,21 @@ def execute_point(spec: ExperimentSpec, seed: int) -> Dict[str, Any]:
     host = dep.compute_host_names()[0]
     vd = VirtualDisk(dep, "lab-vd0", host, spec.vd_size_mb * 1024 * 1024)
     monitor = IoHangMonitor(dep.sim, threshold_ns=spec.hang_threshold_ns)
+    plane = None
+    if spec.telemetry is not None:
+        # Lazy import: repro.telemetry is optional equipment for a point,
+        # and keeping it out of the worker's import path when unused keeps
+        # the plain artifact bytes untouched by the new subsystem.
+        from ..telemetry.plane import TelemetryPlane
+
+        plane = TelemetryPlane(
+            dep,
+            interval_ns=spec.telemetry.interval_ns,
+            slo_ns=spec.telemetry.slo_ns,
+            relative_accuracy=spec.telemetry.relative_accuracy,
+        )
+        plane.watch_vd(vd)
+        monitor.on_hang = plane.on_hang
     for fault in spec.faults:
         TimedFault(fault.build(), fault.start_ns, fault.end_ns).schedule(
             dep.sim, dep.topology
@@ -95,6 +110,9 @@ def execute_point(spec: ExperimentSpec, seed: int) -> Dict[str, Any]:
         until = w.horizon_ns + DRAIN_NS
         if spec.faults:
             until += spec.hang_threshold_ns
+
+    if plane is not None:
+        plane.start(until_ns=until)
 
     latency = LatencyStats("lab")
     issued = completed = failed = bytes_moved = 0
@@ -164,7 +182,7 @@ def execute_point(spec: ExperimentSpec, seed: int) -> Dict[str, Any]:
     component_ns = {
         c: sum(t.components[c] for t in ok_traces) for c in ("sa", "fn", "bn", "ssd")
     }
-    return {
+    artifact = {
         "schema": 1,
         "digest": spec.point_digest(seed),
         "name": spec.name,
@@ -184,6 +202,9 @@ def execute_point(spec: ExperimentSpec, seed: int) -> Dict[str, Any]:
         "component_ns": component_ns,
         "component_count": len(ok_traces),
     }
+    if plane is not None:
+        artifact["telemetry"] = plane.summary()
+    return artifact
 
 
 def _simulate_point(spec_json: str, seed: int) -> Dict[str, Any]:

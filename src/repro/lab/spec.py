@@ -34,7 +34,7 @@ from ..net.failures import (
 from ..sim import MS, SECOND, US
 
 #: Bump when the artifact layout changes: old cache entries stop matching.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 WORKLOAD_MODES = ("fio", "isolated", "trace")
 
@@ -227,6 +227,33 @@ class UpgradeSpec:
 
 
 @dataclass(frozen=True)
+class TelemetrySpec:
+    """Attach the `repro.telemetry` plane to an experiment point.
+
+    The point then runs with a :class:`repro.telemetry.TelemetryPlane`
+    scraping on ``interval_ns`` and diagnosing slow I/Os against
+    ``slo_ns``, and its artifact grows a ``telemetry`` section (fleet
+    sketch quantiles, slow-I/O attribution, alert history).  Everything
+    the plane emits is derived from simulated time only, so telemetry-
+    enabled points stay deterministic and content-addressable.
+    """
+
+    interval_ns: int = 1 * MS
+    slo_ns: int = 500_000
+    relative_accuracy: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.interval_ns <= 0:
+            raise ValueError(f"scrape interval must be positive: {self.interval_ns}")
+        if self.slo_ns <= 0:
+            raise ValueError(f"latency SLO must be positive: {self.slo_ns}")
+        if not 0.0 < self.relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative accuracy must be in (0, 1): {self.relative_accuracy}"
+            )
+
+
+@dataclass(frozen=True)
 class ExperimentSpec:
     """One named experiment: deployment x workload x faults x seeds."""
 
@@ -242,6 +269,9 @@ class ExperimentSpec:
     #: When set, the point runs a control-plane rolling-upgrade drill
     #: (``repro.control``) instead of the plain workload.
     upgrade: Optional[UpgradeSpec] = None
+    #: When set, the point runs under the `repro.telemetry` plane and its
+    #: artifact grows a ``telemetry`` section.
+    telemetry: Optional[TelemetrySpec] = None
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -250,6 +280,11 @@ class ExperimentSpec:
             raise ValueError(f"duplicate seeds: {self.seeds}")
         if self.vd_size_mb <= 0:
             raise ValueError(f"vd_size_mb must be positive, got {self.vd_size_mb}")
+        if self.upgrade is not None and self.telemetry is not None:
+            # Upgrade drills run their own fleet loop (repro.control.drill)
+            # which has no VD to watch; silently dropping the telemetry
+            # request would be worse than refusing it.
+            raise ValueError("upgrade drills do not support telemetry specs")
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -267,12 +302,14 @@ class ExperimentSpec:
         w["block_sizes"] = tuple(w["block_sizes"])
         w["records"] = tuple(tuple(r) for r in w["records"])
         upgrade = d.pop("upgrade", None)
+        telemetry = d.pop("telemetry", None)
         return cls(
             deployment=DeploymentSpec(**d.pop("deployment")),
             workload=WorkloadSpec(**w),
             faults=tuple(FaultSpec(**f) for f in d.pop("faults")),
             seeds=tuple(d.pop("seeds")),
             upgrade=UpgradeSpec(**upgrade) if upgrade is not None else None,
+            telemetry=TelemetrySpec(**telemetry) if telemetry is not None else None,
             **d,
         )
 

@@ -14,7 +14,7 @@ breakdown is reconstructed from the critical-path RPC's marks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 COMPONENTS = ("sa", "fn", "bn", "ssd")
 
@@ -70,14 +70,28 @@ class IoTrace:
 
 @dataclass
 class TraceCollector:
-    """Aggregates completed traces into per-component latency statistics."""
+    """Aggregates completed traces into per-component latency statistics.
+
+    Subscribers (e.g. the telemetry plane's online diagnosis engine) see
+    every trace the moment it is recorded, so slow-I/O attribution can
+    run *during* the simulation rather than from the list afterwards.
+    """
 
     traces: List[IoTrace] = field(default_factory=list)
+    subscribers: List[Callable[[IoTrace], None]] = field(
+        default_factory=list, repr=False
+    )
+
+    def subscribe(self, callback: Callable[[IoTrace], None]) -> None:
+        """Stream every subsequently recorded trace to ``callback``."""
+        self.subscribers.append(callback)
 
     def record(self, trace: IoTrace) -> None:
         if trace.complete_ns is None:
             raise ValueError("cannot record an incomplete trace")
         self.traces.append(trace)
+        for subscriber in self.subscribers:
+            subscriber(trace)
 
     def completed(self, kind: Optional[str] = None, ok_only: bool = True) -> List[IoTrace]:
         return [

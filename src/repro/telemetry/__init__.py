@@ -1,0 +1,75 @@
+"""repro.telemetry — the fleet observability plane, inside the simulation.
+
+The paper's operational sections (Figure 6's per-component attribution,
+Table 2 / Figure 8's hang accounting, §5's "localize, then page" flow)
+all presuppose always-on monitoring.  This package is that layer for the
+reproduction: bounded-memory streaming sketches, a per-node/per-VD metric
+registry scraped on a simulated cadence, an online slow-I/O diagnosis
+engine, threshold alerting wired into the control plane's incident
+stream, and a JSONL flight recorder — all deterministic functions of the
+run's spec and seed.
+
+Modules:
+
+* :mod:`~repro.telemetry.sketch` — mergeable DDSketch-style quantile
+  sketch with a relative-error guarantee;
+* :mod:`~repro.telemetry.registry` — counters/gauges/sketch-histograms
+  plus the simulated-cadence :class:`MetricScraper`;
+* :mod:`~repro.telemetry.diagnosis` — SLO violations and hangs blamed on
+  the dominant component (SA/FN/BN/SSD), Figure 8-style tallies;
+* :mod:`~repro.telemetry.alerts` — threshold rules over snapshots,
+  feeding ``telemetry-alert`` incidents to the HealthMonitor;
+* :mod:`~repro.telemetry.recorder` — deterministic JSONL flight recorder;
+* :mod:`~repro.telemetry.plane` — :class:`TelemetryPlane`, wiring it all
+  onto an :class:`~repro.ebs.deployment.EbsDeployment`;
+* :mod:`~repro.telemetry.cli` — the ``python -m repro monitor`` command.
+"""
+
+from .alerts import ABOVE, BELOW, Alert, AlertEvaluator, AlertRule
+from .diagnosis import (
+    HANG,
+    IO_ERROR,
+    SLO_VIOLATION,
+    SlowIoDiagnoser,
+    SlowIoVerdict,
+    dominant_component,
+)
+from .plane import DEFAULT_INTERVAL_NS, DEFAULT_SLO_NS, TelemetryPlane, default_rules
+from .recorder import FlightRecorder
+from .registry import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    MetricRegistry,
+    MetricScraper,
+    Snapshot,
+    metric_key,
+)
+from .sketch import QuantileSketch
+
+__all__ = [
+    "ABOVE",
+    "BELOW",
+    "Alert",
+    "AlertEvaluator",
+    "AlertRule",
+    "HANG",
+    "IO_ERROR",
+    "SLO_VIOLATION",
+    "SlowIoDiagnoser",
+    "SlowIoVerdict",
+    "dominant_component",
+    "DEFAULT_INTERVAL_NS",
+    "DEFAULT_SLO_NS",
+    "TelemetryPlane",
+    "default_rules",
+    "FlightRecorder",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricRegistry",
+    "MetricScraper",
+    "Snapshot",
+    "metric_key",
+    "QuantileSketch",
+]

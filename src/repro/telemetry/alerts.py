@@ -1,0 +1,121 @@
+"""Alert rules over scraped metrics, feeding the control-plane incident
+stream.
+
+Rules are declarative thresholds over :class:`~repro.telemetry.registry.
+Snapshot` rows (latency SLO on a window p99, hang rate, error rate).  The
+evaluator runs once per scrape, debounces with ``for_intervals``
+(consecutive breaching windows before firing), and — when bound to a
+:class:`repro.control.health.HealthMonitor` — declares each firing as a
+``telemetry-alert`` incident, so the same failover/upgrade machinery that
+reacts to heartbeat loss reacts to telemetry.  Rows with no data
+(``None``, e.g. an idle histogram window) never breach: silence is not an
+SLO violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from .registry import Snapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..control.health import HealthMonitor, Incident
+
+ABOVE = "above"
+BELOW = "below"
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold rule over a snapshot row."""
+
+    name: str
+    metric: str  # snapshot row key, e.g. "fleet.latency.p99"
+    threshold: float
+    direction: str = ABOVE
+    #: Consecutive breaching scrapes required before the alert fires.
+    for_intervals: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.direction not in (ABOVE, BELOW):
+            raise ValueError(f"direction must be {ABOVE!r} or {BELOW!r}")
+        if self.for_intervals < 1:
+            raise ValueError(f"for_intervals must be >= 1: {self.for_intervals}")
+
+    def breached(self, value: Optional[float]) -> bool:
+        if value is None:
+            return False
+        return value > self.threshold if self.direction == ABOVE else value < self.threshold
+
+
+@dataclass
+class Alert:
+    """One fired alert (open until its rule stops breaching)."""
+
+    rule: AlertRule
+    fired_ns: int
+    value: float
+    resolved_ns: Optional[int] = None
+    incident: Optional["Incident"] = field(default=None, repr=False)
+
+    @property
+    def open(self) -> bool:
+        return self.resolved_ns is None
+
+
+class AlertEvaluator:
+    """Evaluates rules against each snapshot; tracks open alerts."""
+
+    def __init__(
+        self,
+        rules: Sequence[AlertRule],
+        health: Optional["HealthMonitor"] = None,
+    ):
+        names = [rule.name for rule in rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate alert rule names: {names}")
+        self.rules = sorted(rules, key=lambda r: r.name)
+        self.health = health
+        self.alerts: List[Alert] = []
+        self._active: Dict[str, Alert] = {}
+        self._streak: Dict[str, int] = {rule.name: 0 for rule in self.rules}
+
+    # ------------------------------------------------------------------
+    def evaluate(self, snapshot: Snapshot) -> List[Alert]:
+        """Run all rules against one snapshot; returns alerts fired now."""
+        fired: List[Alert] = []
+        for rule in self.rules:
+            value = snapshot.get(rule.metric)
+            if rule.breached(value):
+                self._streak[rule.name] += 1
+                if (
+                    self._streak[rule.name] >= rule.for_intervals
+                    and rule.name not in self._active
+                ):
+                    alert = Alert(rule, snapshot.t_ns, float(value))
+                    if self.health is not None:
+                        alert.incident = self.health.report_alert(
+                            rule.name,
+                            detail=f"{rule.metric}={value:g} {rule.direction} "
+                                   f"{rule.threshold:g}",
+                        )
+                    self._active[rule.name] = alert
+                    self.alerts.append(alert)
+                    fired.append(alert)
+            else:
+                self._streak[rule.name] = 0
+                open_alert = self._active.pop(rule.name, None)
+                if open_alert is not None:
+                    open_alert.resolved_ns = snapshot.t_ns
+                    if open_alert.incident is not None:
+                        open_alert.incident.resolved_ns = snapshot.t_ns
+        return fired
+
+    # ------------------------------------------------------------------
+    def active(self) -> List[Alert]:
+        return [self._active[name] for name in sorted(self._active)]
+
+    def fired_count(self) -> int:
+        return len(self.alerts)

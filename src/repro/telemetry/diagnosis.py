@@ -1,0 +1,156 @@
+"""Online slow-I/O diagnosis: blame the right layer before paging anyone.
+
+The paper's operators localize a slow or hung I/O to one of the four
+monitored components — **SA**, **FN**, **BN**, **SSD** (Figure 6's
+breakdown) — and only then decide who gets the incident.  The
+:class:`SlowIoDiagnoser` reproduces that workflow *during* the run: it
+consumes every completed :class:`~repro.metrics.trace.IoTrace` the moment
+the trace collector records it, flags SLO violations and errors,
+attributes each to the component holding the largest share of the
+latency, and keeps Figure 8-style hang-location tallies (per component
+and per node) as hang signals arrive from the
+:class:`~repro.faults.injection.IoHangMonitor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..agent.base import IoRequest
+from ..metrics.trace import COMPONENTS, IoTrace
+
+#: Verdict kinds.
+SLO_VIOLATION = "slo-violation"
+IO_ERROR = "io-error"
+HANG = "hang"
+
+
+def dominant_component(components: Dict[str, int]) -> str:
+    """The component owning the largest latency share.
+
+    Ties break in ``COMPONENTS`` order (sa, fn, bn, ssd).  An I/O with
+    nothing attributed yet — typically one that vanished into the fabric
+    and never produced a completion — is blamed on the frontend network,
+    which is where the paper's hang incidents overwhelmingly live
+    (Figure 8: every tier of the FN can hang LUNA I/Os).
+    """
+    best = max(COMPONENTS, key=lambda c: components.get(c, 0))
+    return best if components.get(best, 0) > 0 else "fn"
+
+
+@dataclass(frozen=True)
+class SlowIoVerdict:
+    """One diagnosed I/O: what went wrong and which layer owns it."""
+
+    io_id: int
+    reason: str  # SLO_VIOLATION | IO_ERROR | HANG
+    component: str
+    node: str
+    total_ns: Optional[int]  # None for I/Os that never completed
+    share: float  # the blamed component's fraction of attributed latency
+
+
+class SlowIoDiagnoser:
+    """Streams verdicts from completed traces and hang signals.
+
+    Memory is bounded: tallies are O(components + nodes) and the verdict
+    list is capped (``max_verdicts``), with a drop counter instead of
+    unbounded growth — the flight recorder is the place for full streams.
+    """
+
+    def __init__(self, slo_ns: int, max_verdicts: int = 1024):
+        if slo_ns <= 0:
+            raise ValueError(f"SLO threshold must be positive: {slo_ns}")
+        self.slo_ns = slo_ns
+        self.max_verdicts = max_verdicts
+        self.observed = 0
+        self.violations = 0
+        self.errors = 0
+        self.hangs = 0
+        self.verdicts: List[SlowIoVerdict] = []
+        self.dropped_verdicts = 0
+        #: SLO-violation count per blamed component (the online Figure 6
+        #: complaint ledger).
+        self.slow_by_component: Dict[str, int] = dict.fromkeys(COMPONENTS, 0)
+        #: Hang count per blamed component and per node — the Figure 8
+        #: hang-location tallies, maintained while the run is live.
+        self.hangs_by_component: Dict[str, int] = dict.fromkeys(COMPONENTS, 0)
+        self.hangs_by_node: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _emit(self, verdict: SlowIoVerdict) -> None:
+        if len(self.verdicts) < self.max_verdicts:
+            self.verdicts.append(verdict)
+        else:
+            self.dropped_verdicts += 1
+
+    @staticmethod
+    def _share(components: Dict[str, int], component: str) -> float:
+        attributed = sum(components.values())
+        return components.get(component, 0) / attributed if attributed else 0.0
+
+    def observe(self, trace: IoTrace, node: str = "") -> Optional[SlowIoVerdict]:
+        """Inspect one completed trace (the TraceCollector subscribe hook)."""
+        self.observed += 1
+        if not trace.ok:
+            self.errors += 1
+            component = dominant_component(trace.components)
+            verdict = SlowIoVerdict(
+                trace.io_id, IO_ERROR, component, node, trace.total_ns,
+                self._share(trace.components, component),
+            )
+            self._emit(verdict)
+            return verdict
+        if trace.total_ns > self.slo_ns:
+            self.violations += 1
+            component = dominant_component(trace.components)
+            self.slow_by_component[component] += 1
+            verdict = SlowIoVerdict(
+                trace.io_id, SLO_VIOLATION, component, node, trace.total_ns,
+                self._share(trace.components, component),
+            )
+            self._emit(verdict)
+            return verdict
+        return None
+
+    def observe_hang(self, io: IoRequest, node: Optional[str] = None) -> SlowIoVerdict:
+        """Record one hang signal (the IoHangMonitor ``on_hang`` hook).
+
+        ``node`` defaults to the I/O's VD id — the unit Figure 8 counts
+        affected VMs by; pass a host name to tally by host instead.
+        """
+        self.hangs += 1
+        where = io.vd_id if node is None else node
+        components = io.trace.components if io.trace is not None else {}
+        component = dominant_component(components)
+        self.hangs_by_component[component] += 1
+        self.hangs_by_node[where] = self.hangs_by_node.get(where, 0) + 1
+        total = None
+        if io.trace is not None and io.trace.complete_ns is not None:
+            total = io.trace.total_ns
+        verdict = SlowIoVerdict(
+            io.io_id, HANG, component, where, total, self._share(components, component)
+        )
+        self._emit(verdict)
+        return verdict
+
+    # ------------------------------------------------------------------
+    def affected_nodes(self) -> int:
+        """Nodes with at least one hang — Figure 8's blast-radius count."""
+        return len(self.hangs_by_node)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready tally block for artifacts and CLI summaries."""
+        return {
+            "slo_ns": self.slo_ns,
+            "observed": self.observed,
+            "violations": self.violations,
+            "errors": self.errors,
+            "hangs": self.hangs,
+            "slow_by_component": dict(sorted(self.slow_by_component.items())),
+            "hangs_by_component": dict(sorted(self.hangs_by_component.items())),
+            "hangs_by_node": dict(sorted(self.hangs_by_node.items())),
+            "affected_nodes": self.affected_nodes(),
+            "dropped_verdicts": self.dropped_verdicts,
+        }

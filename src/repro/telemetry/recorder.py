@@ -1,0 +1,51 @@
+"""JSONL flight recorder: an append-only stream of telemetry events.
+
+Every scrape, alert transition and slow-I/O verdict can be appended as
+one JSON line, giving a run a replayable black-box record (the
+simulation-side analogue of the paper's monitoring exporters).  All
+timestamps are *simulated* nanoseconds — a recorder file is a pure
+function of the run's spec and seed, so recordings are diff-able across
+machines and safe next to the lab's content-addressed artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional, TextIO
+
+
+class FlightRecorder:
+    """Writes telemetry events as deterministic JSON lines."""
+
+    def __init__(self, path: Optional[str] = None, stream: Optional[TextIO] = None):
+        if (path is None) == (stream is None):
+            raise ValueError("pass exactly one of path or stream")
+        self._own_handle = stream is None
+        self._handle: TextIO = open(path, "w", encoding="ascii") if path else stream
+        self.path = path
+        self.records = 0
+        self.by_kind: Dict[str, int] = {}
+
+    def record(self, kind: str, t_ns: int, **payload: Any) -> None:
+        """Append one event line: ``{"kind": ..., "t_ns": ..., ...}``."""
+        if self._handle.closed:
+            raise ValueError("flight recorder is closed")
+        row = {"kind": kind, "t_ns": int(t_ns)}
+        row.update(payload)
+        self._handle.write(
+            json.dumps(row, sort_keys=True, separators=(",", ":"), allow_nan=False)
+        )
+        self._handle.write("\n")
+        self.records += 1
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def close(self) -> None:
+        if self._own_handle and not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,189 @@
+"""Mergeable bounded-memory quantile sketch (DDSketch-style).
+
+The fleet observability plane keeps latency distributions for millions of
+simulated I/Os without holding a sample per I/O.  The sketch maps every
+positive value into logarithmically-spaced buckets: bucket ``k`` covers
+``(gamma^(k-1), gamma^k]`` with ``gamma = (1+a)/(1-a)``, so answering a
+quantile with the bucket's midpoint is wrong by at most the configured
+relative accuracy ``a`` — the "within 2% of exact" contract the tests and
+CI enforce for ``a = 0.01``.
+
+Three properties matter operationally:
+
+* **bounded memory** — at most ``max_buckets`` buckets are kept; when the
+  cap is hit, the *lowest* buckets collapse together (low latencies are
+  the uninteresting tail of an SLO investigation), so memory is O(1) in
+  the number of samples;
+* **mergeable** — sketches with the same accuracy merge exactly
+  (bucket-wise addition), so per-node histograms roll up to fleet
+  histograms and per-seed runs pool without bias;
+* **serializable** — ``to_dict``/``from_dict`` round-trip through
+  canonical JSON, so sketches ride inside cached lab artifacts.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterable, List, Tuple
+
+__all__ = ["QuantileSketch"]
+
+
+class QuantileSketch:
+    """Quantiles with a relative-error guarantee in bounded memory."""
+
+    def __init__(self, relative_accuracy: float = 0.01, max_buckets: int = 2048):
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(f"relative accuracy must be in (0, 1): {relative_accuracy}")
+        if max_buckets < 8:
+            raise ValueError(f"max_buckets too small to be useful: {max_buckets}")
+        self.relative_accuracy = relative_accuracy
+        self.max_buckets = max_buckets
+        self.gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self.gamma)
+        self._buckets: Dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+        #: Samples folded into the lowest kept bucket by the memory cap;
+        #: their quantile answers lose the relative-error guarantee.
+        self.collapsed = 0
+
+    # ------------------------------------------------------------------
+    def _key(self, value: float) -> int:
+        return math.ceil(math.log(value) / self._log_gamma)
+
+    def _bucket_value(self, key: int) -> float:
+        """Midpoint representative: relative error <= a for the bucket."""
+        return 2.0 * self.gamma**key / (self.gamma + 1.0)
+
+    # ------------------------------------------------------------------
+    def add(self, value: float, count: int = 1) -> None:
+        value = float(value)
+        if value < 0.0:
+            raise ValueError(f"sketch values must be non-negative: {value}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1: {count}")
+        self.count += count
+        self.total += value * count
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+        if value == 0.0:
+            self.zero_count += count
+            return
+        key = self._key(value)
+        self._buckets[key] = self._buckets.get(key, 0) + count
+        if len(self._buckets) > self.max_buckets:
+            self._collapse()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _collapse(self) -> None:
+        """Fold the lowest buckets together until back under the cap."""
+        keys = sorted(self._buckets)
+        while len(keys) > self.max_buckets:
+            lowest = keys.pop(0)
+            folded = self._buckets.pop(lowest)
+            self._buckets[keys[0]] = self._buckets.get(keys[0], 0) + folded
+            self.collapsed += folded
+
+    # ------------------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]) of everything added so far."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q}")
+        if self.count == 0:
+            raise ValueError("quantile of empty sketch")
+        rank = q * (self.count - 1)
+        cum = self.zero_count
+        if self.zero_count and rank < cum:
+            return 0.0
+        for key in sorted(self._buckets):
+            cum += self._buckets[key]
+            if cum > rank:
+                # Clamping to the observed extremes only tightens the error.
+                return min(max(self._bucket_value(key), self.min_value), self.max_value)
+        return self.max_value
+
+    def percentile(self, p: float) -> float:
+        """Percentile (p in [0, 100]); mirrors `repro.metrics.percentile`."""
+        return self.quantile(p / 100.0)
+
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("mean of empty sketch")
+        return self.total / self.count
+
+    def __len__(self) -> int:
+        """Kept buckets — the memory footprint proxy the tests bound."""
+        return len(self._buckets) + (1 if self.zero_count else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.count == 0:
+            return f"<QuantileSketch a={self.relative_accuracy} empty>"
+        return (
+            f"<QuantileSketch a={self.relative_accuracy} n={self.count} "
+            f"p50={self.quantile(0.5):.0f} p99={self.quantile(0.99):.0f} "
+            f"buckets={len(self)}>"
+        )
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other`` into this sketch (same accuracy required)."""
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError(
+                f"cannot merge sketches of different accuracy: "
+                f"{self.relative_accuracy} vs {other.relative_accuracy}"
+            )
+        for key, count in other._buckets.items():
+            self._buckets[key] = self._buckets.get(key, 0) + count
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.total += other.total
+        self.min_value = min(self.min_value, other.min_value)
+        self.max_value = max(self.max_value, other.max_value)
+        self.collapsed += other.collapsed
+        if len(self._buckets) > self.max_buckets:
+            self._collapse()
+
+    @classmethod
+    def merged(cls, parts: Iterable["QuantileSketch"]) -> "QuantileSketch":
+        parts = list(parts)
+        if not parts:
+            raise ValueError("nothing to merge")
+        out = cls(parts[0].relative_accuracy, parts[0].max_buckets)
+        for part in parts:
+            out.merge(part)
+        return out
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready state (bucket list sorted for canonical encoding)."""
+        buckets: List[Tuple[int, int]] = sorted(self._buckets.items())
+        return {
+            "relative_accuracy": self.relative_accuracy,
+            "max_buckets": self.max_buckets,
+            "zero_count": self.zero_count,
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.min_value,
+            "max": None if self.count == 0 else self.max_value,
+            "collapsed": self.collapsed,
+            "buckets": [list(pair) for pair in buckets],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "QuantileSketch":
+        out = cls(d["relative_accuracy"], d["max_buckets"])
+        out._buckets = {int(k): int(c) for k, c in d["buckets"]}
+        out.zero_count = d["zero_count"]
+        out.count = d["count"]
+        out.total = d["total"]
+        out.min_value = math.inf if d["min"] is None else d["min"]
+        out.max_value = -math.inf if d["max"] is None else d["max"]
+        out.collapsed = d.get("collapsed", 0)
+        return out
