@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .chaos.cli import add_chaos_parser, cmd_chaos
 from .control.cli import add_upgrade_parser, cmd_upgrade
 from .ebs import DeploymentSpec, EbsDeployment, STACKS, VirtualDisk
 from .faults import IoHangMonitor
@@ -142,6 +143,7 @@ def main(argv=None) -> int:
     add_sweep_parser(sub)
     add_upgrade_parser(sub)
     add_monitor_parser(sub)
+    add_chaos_parser(sub)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -152,6 +154,7 @@ def main(argv=None) -> int:
         "sweep": cmd_sweep,
         "upgrade": cmd_upgrade,
         "monitor": cmd_monitor,
+        "chaos": cmd_chaos,
         None: cmd_info,
     }
     return handlers[args.command](args)

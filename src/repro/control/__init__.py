@@ -33,7 +33,12 @@ from .health import (
     HealthPolicy,
     Incident,
 )
-from .migration import DEFAULT_ATTACH_NS, LiveMigration, MigrationReport
+from .migration import (
+    DEFAULT_ATTACH_NS,
+    LiveMigration,
+    MigrationAbortedError,
+    MigrationReport,
+)
 from .upgrade import (
     RollingUpgradeEngine,
     UpgradeResult,
@@ -61,6 +66,7 @@ __all__ = [
     "Incident",
     "DEFAULT_ATTACH_NS",
     "LiveMigration",
+    "MigrationAbortedError",
     "MigrationReport",
     "RollingUpgradeEngine",
     "UpgradeResult",

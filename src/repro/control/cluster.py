@@ -79,6 +79,7 @@ class ControlledCluster:
         io_size_bytes: int = 4096,
         hang_threshold_ns: int = 1 * SECOND,
         attach_latency_ns: int = DEFAULT_ATTACH_NS,
+        drain_timeout_ns: Optional[int] = None,
     ):
         if not stacks:
             raise ValueError("cluster needs at least one stack")
@@ -92,7 +93,9 @@ class ControlledCluster:
         self.io_size_bytes = io_size_bytes
         self.sim = Simulator(seed=seed)
         self.hang_monitor = IoHangMonitor(self.sim, threshold_ns=hang_threshold_ns)
-        self.migrator = LiveMigration(self.sim, attach_latency_ns)
+        self.migrator = LiveMigration(
+            self.sim, attach_latency_ns, drain_timeout_ns=drain_timeout_ns
+        )
         self.deployments: Dict[str, EbsDeployment] = {}
         for stack in UPGRADE_ORDER:  # fixed construction order
             if stack in stacks:
@@ -112,6 +115,8 @@ class ControlledCluster:
                 LogicalServer(index=i, name=f"srv{i}", stack=initial, vd=vd)
             )
         self.migration_reports: List[MigrationReport] = []
+        #: Migrations rolled back by the drain timeout (fault mid-drain).
+        self.aborted_migrations: List[MigrationReport] = []
         #: Completed-I/O samples: (issue_ns, latency_ns, server_index).
         self.samples: List[Tuple[int, int, int]] = []
         self._load_until_ns: Optional[int] = None
@@ -164,8 +169,15 @@ class ControlledCluster:
         server: LogicalServer,
         to_stack: str,
         on_done: Optional[Callable[[LogicalServer, MigrationReport], None]] = None,
+        on_abort: Optional[Callable[[LogicalServer, MigrationReport], None]] = None,
     ) -> None:
-        """Hot-upgrade one server: live-migrate its VD to ``to_stack``."""
+        """Hot-upgrade one server: live-migrate its VD to ``to_stack``.
+
+        If the cluster's migrator has a drain timeout and a fault strands
+        the drain, the migration aborts: the server stays on its current
+        stack with its VD resumed, the stall is booked as a pause
+        interval, and ``on_abort`` (if given) observes the rollback.
+        """
         if server.migrating:
             raise RuntimeError(f"{server.name} is already migrating")
         target = self.deployments[to_stack]
@@ -183,7 +195,14 @@ class ControlledCluster:
             if on_done is not None:
                 on_done(server, report)
 
-        self.migrator.migrate(server.vd, target, target_host, finish)
+        def aborted(vd: VirtualDisk, report: MigrationReport) -> None:
+            server.migrating = False
+            server.pause_intervals.append((report.started_ns, report.aborted_ns))
+            self.aborted_migrations.append(report)
+            if on_abort is not None:
+                on_abort(server, report)
+
+        self.migrator.migrate(server.vd, target, target_host, finish, aborted)
 
     # ------------------------------------------------------------------
     # Fleet accounting

@@ -12,7 +12,7 @@ recovery records".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..ebs.deployment import EbsDeployment
 from ..sim.events import MS
@@ -59,14 +59,21 @@ class FailoverOrchestrator:
         deployment: EbsDeployment,
         monitor: HealthMonitor,
         policy: FailoverPolicy = FailoverPolicy(),
+        node_prefix: str = "",
     ):
         self.deployment = deployment
         self.sim = deployment.sim
         self.monitor = monitor
         self.policy = policy
+        #: Disambiguates probe names when several deployments (which reuse
+        #: the same host names, e.g. ``sp/r0/h0`` per stack) share one
+        #: monitor — e.g. ``"solar/"``.  Incident nodes carry the prefix;
+        #: this orchestrator only reacts to (and strips) its own.
+        self.node_prefix = node_prefix
         self.records: List[RecoveryRecord] = []
         self._evacuated: set = set()
         monitor.subscribe(self._on_incident)
+        monitor.subscribe_resolved(self._on_resolved)
 
     # ------------------------------------------------------------------
     def watch_storage(self) -> None:
@@ -82,7 +89,8 @@ class FailoverOrchestrator:
         for name in sorted(self.deployment.storage_servers):
             host = topology.hosts[name]
             self.monitor.register(
-                name, lambda h=host: any(ch.up for ch in h.uplinks)
+                f"{self.node_prefix}{name}",
+                lambda h=host: any(ch.up for ch in h.uplinks),
             )
 
     def _alive(self, name: str) -> bool:
@@ -90,28 +98,50 @@ class FailoverOrchestrator:
         return any(ch.up for ch in host.uplinks)
 
     # ------------------------------------------------------------------
-    def _on_incident(self, incident: Incident) -> None:
+    def _node_of(self, incident: Incident) -> Optional[str]:
+        """Map an incident to one of this deployment's storage servers,
+        or ``None`` when it belongs to another orchestrator/kind."""
         if incident.kind != HEARTBEAT_LOSS:
-            return
-        if incident.node not in self.deployment.storage_servers:
-            return
-        if incident.node in self._evacuated:
-            return
-        self._evacuated.add(incident.node)
-        self.sim.schedule(self.policy.reroute_delay_ns, self._evacuate, incident)
+            return None
+        if not incident.node.startswith(self.node_prefix):
+            return None
+        node = incident.node[len(self.node_prefix):]
+        if node not in self.deployment.storage_servers:
+            return None
+        return node
 
-    def _evacuate(self, incident: Incident) -> None:
+    def _on_incident(self, incident: Incident) -> None:
+        node = self._node_of(incident)
+        if node is None or node in self._evacuated:
+            return
+        self._evacuated.add(node)
+        self.sim.schedule(
+            self.policy.reroute_delay_ns, self._evacuate, node, incident
+        )
+
+    def _on_resolved(self, incident: Incident) -> None:
+        """Heartbeat back on an evacuated node: lift its quarantine so it
+        rejoins the placement pool and future incidents re-evacuate it."""
+        node = self._node_of(incident)
+        if node is None or node not in self._evacuated:
+            return
+        self._evacuated.discard(node)
+        self.deployment.segment_table.restore(node)
+
+    def _evacuate(self, node: str, incident: Incident) -> None:
+        if node not in self._evacuated:
+            return  # recovered during the reroute delay
         healthy = [
             name
             for name in sorted(self.deployment.storage_servers)
-            if name != incident.node and self._alive(name)
+            if name != node and self._alive(name)
         ]
-        changed = self.deployment.segment_table.evacuate(incident.node, healthy)
+        changed = self.deployment.segment_table.evacuate(node, healthy)
         for vd_id in sorted(changed):
             self.deployment.refresh_vd(vd_id)
         self.records.append(
             RecoveryRecord(
-                node=incident.node,
+                node=node,
                 detected_ns=incident.detected_ns,
                 rerouted_ns=self.sim.now,
                 segments_moved=sum(changed.values()),

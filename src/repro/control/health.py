@@ -85,7 +85,10 @@ class HealthMonitor:
         self._probes: Dict[str, Callable[[], bool]] = {}
         self._misses: Dict[str, int] = {}
         self._open: Dict[str, Incident] = {}
+        #: Open I/O-hang incidents by io_id, resolved on late completion.
+        self._open_hangs: Dict[int, Incident] = {}
         self._subscribers: List[Callable[[Incident], None]] = []
+        self._resolved_subscribers: List[Callable[[Incident], None]] = []
         self._started = False
         self._stop_ns: Optional[int] = None
 
@@ -99,6 +102,12 @@ class HealthMonitor:
 
     def subscribe(self, callback: Callable[[Incident], None]) -> None:
         self._subscribers.append(callback)
+
+    def subscribe_resolved(self, callback: Callable[[Incident], None]) -> None:
+        """Observe incident resolutions (heartbeat back, hung I/O
+        completed, alert cleared) — the hook the failover orchestrator
+        uses to lift a recovered node's quarantine."""
+        self._resolved_subscribers.append(callback)
 
     def start(self, until_ns: Optional[int] = None) -> None:
         """Begin sweeping; ``until_ns`` bounds the last sweep so the event
@@ -117,7 +126,7 @@ class HealthMonitor:
                 self._misses[name] = 0
                 opened = self._open.pop(name, None)
                 if opened is not None:
-                    opened.resolved_ns = self.sim.now
+                    self.resolve(opened)
             else:
                 self._misses[name] += 1
                 if (
@@ -148,17 +157,43 @@ class HealthMonitor:
             subscriber(incident)
         return incident
 
+    def resolve(self, incident: Incident, at_ns: Optional[int] = None) -> None:
+        """Resolve one incident and notify resolution subscribers.
+
+        ``at_ns`` overrides the resolution timestamp (e.g. the telemetry
+        evaluator resolves at snapshot time, not evaluation time).
+        Idempotent — resolving a closed incident is a no-op."""
+        if not incident.open:
+            return
+        incident.resolved_ns = self.sim.now if at_ns is None else at_ns
+        for subscriber in self._resolved_subscribers:
+            subscriber(incident)
+
     def report_hang(self, io: IoRequest) -> Incident:
         """Hang-signal inlet — wire as ``IoHangMonitor(on_hang=...)``."""
-        return self.declare(
+        incident = self.declare(
             IO_HANG, io.vd_id, detail=f"io#{io.io_id} {io.kind} unanswered"
         )
+        self._open_hangs[io.io_id] = incident
+        return incident
+
+    def note_io_completed(self, io: IoRequest) -> None:
+        """Completion inlet: a previously-hung I/O finally answered, so
+        its incident's cause has cleared — auto-resolve it.  Safe to call
+        for every completion; I/Os without an open hang incident no-op."""
+        incident = self._open_hangs.pop(io.io_id, None)
+        if incident is not None:
+            self.resolve(incident)
 
     def report_alert(self, source: str, detail: str = "") -> Incident:
         """Telemetry-alert inlet — the `repro.telemetry` AlertEvaluator
         declares each fired rule here, so failover/upgrade machinery
         reacts to metric thresholds exactly as it does to heartbeats."""
         return self.declare(TELEMETRY_ALERT, source, detail=detail)
+
+    def open_hangs(self) -> Dict[int, Incident]:
+        """Open I/O-hang incidents keyed by the hung I/O's id (copy)."""
+        return dict(self._open_hangs)
 
     # ------------------------------------------------------------------
     def open_incidents(self) -> List[Incident]:

@@ -14,12 +14,12 @@ into per-wave availability.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from ..ebs.deployment import EbsDeployment
-from ..ebs.virtual_disk import VirtualDisk
+from ..ebs.virtual_disk import VdStateError, VirtualDisk
 from ..sim.engine import Simulator
-from ..sim.events import US
+from ..sim.events import US, format_ns
 
 #: Default control-plane cost of re-attaching a VD through a new frontend
 #: stack (table installation + NVMe namespace re-plumb).  A tunable
@@ -27,6 +27,16 @@ from ..sim.events import US
 DEFAULT_ATTACH_NS = 500 * US
 
 PHASES = ("pause", "drain", "attach")
+
+
+class MigrationAbortedError(VdStateError):
+    """A migration drain exceeded its timeout with no abort handler.
+
+    Raised (inside the simulation event) when a fault strands in-flight
+    I/O mid-drain and the caller gave no ``on_abort`` — the typed surface
+    for what used to be a silent wedge: a VD paused forever waiting for
+    an I/O that a dead node will never answer.
+    """
 
 
 @dataclass
@@ -42,6 +52,10 @@ class MigrationReport:
     drained_ns: int = 0
     attached_ns: int = 0
     inflight_at_pause: int = 0
+    #: Set when the drain timed out (fault mid-drain) and the migration
+    #: was rolled back: the source VD resumed, nothing re-attached.
+    aborted: bool = False
+    aborted_ns: int = 0
 
     @property
     def drain_ns(self) -> int:
@@ -62,14 +76,32 @@ class MigrationReport:
 
 
 class LiveMigration:
-    """Executes pause → drain → attach sequences on one simulator."""
+    """Executes pause → drain → attach sequences on one simulator.
 
-    def __init__(self, sim: Simulator, attach_latency_ns: int = DEFAULT_ATTACH_NS):
+    ``drain_timeout_ns`` bounds the drain phase: a fault that strands
+    in-flight I/O on the source must not leave the VD wedged half-migrated
+    (paused forever, guest stalled).  When the timeout fires before the
+    drain completes, the migration aborts — the source VD resumes
+    admission and ``on_abort`` (or :class:`MigrationAbortedError`)
+    surfaces the failure as a typed event the control plane can react to.
+    ``None`` disables the timeout (the pre-chaos behavior).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        attach_latency_ns: int = DEFAULT_ATTACH_NS,
+        drain_timeout_ns: Optional[int] = None,
+    ):
         if attach_latency_ns < 0:
             raise ValueError(f"negative attach latency: {attach_latency_ns}")
+        if drain_timeout_ns is not None and drain_timeout_ns <= 0:
+            raise ValueError(f"drain timeout must be positive: {drain_timeout_ns}")
         self.sim = sim
         self.attach_latency_ns = attach_latency_ns
+        self.drain_timeout_ns = drain_timeout_ns
         self.completed: int = 0
+        self.aborted: int = 0
 
     def migrate(
         self,
@@ -77,12 +109,15 @@ class LiveMigration:
         target: EbsDeployment,
         target_host: str,
         on_done: Callable[[VirtualDisk, MigrationReport], None],
+        on_abort: Optional[Callable[[VirtualDisk, MigrationReport], None]] = None,
     ) -> MigrationReport:
         """Move ``vd`` onto ``target_host`` of the ``target`` deployment.
 
         The target may be the same deployment (host-to-host migration) or
         a different FN stack sharing the simulator (hot upgrade).  Calls
-        ``on_done(new_vd, report)`` when the new attachment is live.
+        ``on_done(new_vd, report)`` when the new attachment is live, or
+        ``on_abort(vd, report)`` if the drain timed out (the source VD is
+        already resumed by then).
         """
         if vd.detached:
             raise ValueError(f"VD {vd.vd_id!r} is already detached")
@@ -101,10 +136,42 @@ class LiveMigration:
             inflight_at_pause=len(vd.inflight),
         )
         vd.pause()
-        vd.when_drained(lambda: self._drained(vd, target, target_host, report, on_done))
+        timer = None
+        if self.drain_timeout_ns is not None:
+            timer = self.sim.schedule(
+                self.drain_timeout_ns, self._drain_timeout, vd, report, on_abort
+            )
+        vd.when_drained(
+            lambda: self._drained(vd, target, target_host, report, on_done, timer)
+        )
         return report
 
     # ------------------------------------------------------------------
+    def _drain_timeout(
+        self,
+        vd: VirtualDisk,
+        report: MigrationReport,
+        on_abort: Optional[Callable[[VirtualDisk, MigrationReport], None]],
+    ) -> None:
+        if report.drained_ns or report.aborted:
+            return  # drained in time; stale timer
+        report.aborted = True
+        report.aborted_ns = self.sim.now
+        self.aborted += 1
+        # Roll back: re-admit guest I/O on the source.  The stuck I/Os
+        # stay in flight (the hang monitor owns that story); the guest
+        # sees a bounded stall instead of an indefinite wedge.
+        vd.resume()
+        if on_abort is not None:
+            on_abort(vd, report)
+        else:
+            raise MigrationAbortedError(
+                f"migration of VD {report.vd_id!r} "
+                f"{report.source_stack}->{report.target_stack} aborted: "
+                f"{len(vd.inflight)} I/O(s) still in flight after "
+                f"{format_ns(self.drain_timeout_ns)} drain timeout"
+            )
+
     def _drained(
         self,
         vd: VirtualDisk,
@@ -112,7 +179,12 @@ class LiveMigration:
         target_host: str,
         report: MigrationReport,
         on_done: Callable[[VirtualDisk, MigrationReport], None],
+        timer,
     ) -> None:
+        if report.aborted:
+            return  # the drain finally completed, but the abort won
+        if timer is not None:
+            timer.cancel()
         report.drained_ns = self.sim.now
         self.sim.schedule(
             self.attach_latency_ns,

@@ -70,6 +70,36 @@ def tor_port_failure(host_name: str, port_index: int = 0) -> FailureScenario:
     return FailureScenario(f"tor-port-failure({host_name})", apply_fn, revert_fn)
 
 
+def node_failure(host_name: str) -> FailureScenario:
+    """Fail-stop of a whole host: every NIC↔ToR cable goes dark at once
+    (power loss, kernel panic).  The host stops heartbeating — the clean
+    detectable death of Table 2's "block server down" row — and every
+    in-flight I/O it was serving hangs until failover re-routes it."""
+    state: dict = {}
+
+    def apply_fn(topology: ClosTopology) -> List[str]:
+        host = topology.hosts[host_name]
+        channels = set(host.uplinks)
+        links = [
+            link for link in topology.links
+            if link.ab in channels or link.ba in channels
+        ]
+        if not links:
+            raise RuntimeError(f"host {host_name!r} has no uplink links")
+        state["links"] = links
+        touched = []
+        for link in links:
+            link.set_up(False)
+            touched.append(link.ab.name)
+        return touched
+
+    def revert_fn(_topology: ClosTopology) -> None:
+        for link in state["links"]:
+            link.set_up(True)
+
+    return FailureScenario(f"node-failure({host_name})", apply_fn, revert_fn)
+
+
 def switch_failure(tier: str, index: int = 0, link_down: bool = False) -> FailureScenario:
     """Fail-stop of a whole switch at the given tier.
 

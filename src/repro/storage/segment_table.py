@@ -58,6 +58,12 @@ class SegmentTable:
 
     def __init__(self) -> None:
         self._segments: Dict[str, List[Segment]] = {}
+        #: Servers evacuated by the control plane and not yet restored.
+        #: Placement (``provision``) avoids them, and a repeat ``evacuate``
+        #: of one is an explicit no-op — overlapping incidents on the same
+        #: host must not double-count ``segments_moved`` or re-place data
+        #: onto a node the fleet already considers dead.
+        self._evacuated: set = set()
 
     def provision(
         self,
@@ -76,6 +82,12 @@ class SegmentTable:
             raise ValueError(f"VD {vd_id!r} already provisioned")
         if size_bytes <= 0 or size_bytes % BLOCK_SIZE:
             raise ValueError(f"VD size must be a positive multiple of {BLOCK_SIZE}")
+        # Evacuated servers are off-limits for new placement until the
+        # control plane restores them — a VD provisioned mid-incident
+        # (e.g. a live migration attaching to this deployment) must not
+        # land segments on a node known to be dead.
+        block_servers = [s for s in block_servers if s not in self._evacuated]
+        chunk_servers = [s for s in chunk_servers if s not in self._evacuated]
         if not block_servers:
             raise ValueError("no block servers available")
         if len(chunk_servers) < replicas:
@@ -138,11 +150,20 @@ class SegmentTable:
         ``server`` loses its role both as hosting block server and as
         replica; replacement picks are hash-spread so recovery placement
         is deterministic.  Returns ``{vd_id: segments_changed}``.
+
+        Idempotent: a second evacuation of an already-evacuated server
+        (overlapping incidents on the same host) is a no-op returning
+        ``{}`` — it must not double-count moved segments.  The server
+        stays quarantined from new placement until :meth:`restore`.
         """
-        if not replacements:
-            raise ValueError("evacuation needs at least one healthy server")
         if server in replacements:
             raise ValueError(f"cannot evacuate {server!r} onto itself")
+        replacements = [r for r in replacements if r not in self._evacuated]
+        if not replacements:
+            raise ValueError("evacuation needs at least one healthy server")
+        if server in self._evacuated:
+            return {}
+        self._evacuated.add(server)
         changed: Dict[str, int] = {}
         for vd_id, index, seg in self.segments_on(server):
             new_bs = seg.block_server
@@ -165,6 +186,20 @@ class SegmentTable:
             )
             changed[vd_id] = changed.get(vd_id, 0) + 1
         return changed
+
+    def restore(self, server: str) -> None:
+        """Lift a server's evacuation quarantine (it rejoined the fleet).
+
+        Existing segments are not rebalanced back; the server simply
+        becomes eligible for new placement and future evacuations again.
+        Idempotent.
+        """
+        self._evacuated.discard(server)
+
+    @property
+    def evacuated(self) -> frozenset:
+        """Servers currently quarantined by :meth:`evacuate`."""
+        return frozenset(self._evacuated)
 
     # ------------------------------------------------------------------
     def segments_of(self, vd_id: str) -> List[Segment]:

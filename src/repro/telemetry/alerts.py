@@ -109,8 +109,10 @@ class AlertEvaluator:
                 open_alert = self._active.pop(rule.name, None)
                 if open_alert is not None:
                     open_alert.resolved_ns = snapshot.t_ns
-                    if open_alert.incident is not None:
-                        open_alert.incident.resolved_ns = snapshot.t_ns
+                    if open_alert.incident is not None and self.health is not None:
+                        # Route through the monitor so resolution
+                        # subscribers (failover, chaos invariants) see it.
+                        self.health.resolve(open_alert.incident, at_ns=snapshot.t_ns)
         return fired
 
     # ------------------------------------------------------------------

@@ -10,6 +10,7 @@ from repro.control import (
     HealthPolicy,
     IO_HANG,
     LiveMigration,
+    MigrationAbortedError,
     RollingUpgradeEngine,
     analytic_share_trend,
     check_rollout_consistency,
@@ -417,3 +418,195 @@ class TestDrillDeterminism:
         assert result.completed == artifact["completed"]
         assert len(result.waves) == spec.upgrade.total_waves
         assert check_rollout_consistency(result) == []
+
+
+# ----------------------------------------------------------------------
+# Migration abort: a fault mid-drain surfaces a typed error instead of
+# wedging the VD in a paused state forever
+# ----------------------------------------------------------------------
+class TestMigrationAbort:
+    def _stranded_vd(self, dep):
+        """A VD with one write that can never complete: every storage
+        uplink is down before the I/O is issued."""
+        vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 32 * 1024 * 1024)
+        for name in dep.storage_servers:
+            for channel in dep.topology.hosts[name].uplinks:
+                channel.up = False
+        vd.write(0, 4096, lambda io: None)
+        assert vd.inflight
+        return vd
+
+    def test_invalid_drain_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            LiveMigration(Simulator(), drain_timeout_ns=0)
+        with pytest.raises(ValueError):
+            LiveMigration(Simulator(), drain_timeout_ns=-5)
+
+    def test_timeout_raises_typed_error_without_handler(self):
+        dep = small_deployment()
+        vd = self._stranded_vd(dep)
+        migrator = LiveMigration(dep.sim, drain_timeout_ns=20 * MS)
+        report = migrator.migrate(
+            vd, dep, dep.compute_host_names()[0], lambda v, r: None
+        )
+        with pytest.raises(MigrationAbortedError):
+            dep.sim.run()
+        assert report.aborted
+        assert migrator.aborted == 1 and migrator.completed == 0
+        # MigrationAbortedError is a VdStateError, so existing callers
+        # that guard VD lifecycle errors also catch aborts.
+        assert issubclass(MigrationAbortedError, VdStateError)
+
+    def test_abort_handler_fires_and_vd_resumes(self):
+        dep = small_deployment()
+        vd = self._stranded_vd(dep)
+        migrator = LiveMigration(dep.sim, drain_timeout_ns=20 * MS)
+        started = dep.sim.now
+        aborts = []
+        migrator.migrate(
+            vd, dep, dep.compute_host_names()[0], lambda v, r: None,
+            on_abort=lambda v, r: aborts.append(r),
+        )
+        dep.sim.run()
+        assert len(aborts) == 1
+        report = aborts[0]
+        assert report.aborted and report.aborted_ns == started + 20 * MS
+        # The abort un-wedges the VD: it is resumed, not paused/detached,
+        # and serves I/O again once the fault clears.
+        assert not vd.paused and not vd.detached
+        for name in dep.storage_servers:
+            for channel in dep.topology.hosts[name].uplinks:
+                channel.up = True
+        done = []
+        vd.write(4096, 4096, done.append)
+        dep.sim.run()
+        assert done and done[0].trace.ok
+
+    def test_clean_migration_unaffected_by_timeout(self):
+        sim = Simulator(seed=3)
+        src = EbsDeployment(DeploymentSpec(stack="kernel", seed=3), sim=sim)
+        dst = EbsDeployment(DeploymentSpec(stack="solar", seed=3), sim=sim)
+        vd = VirtualDisk(src, "vd0", src.compute_host_names()[0], 32 * 1024 * 1024)
+        migrator = LiveMigration(sim, drain_timeout_ns=200 * MS)
+        finished = []
+        vd.write(0, 4096, lambda io: None)
+        migrator.migrate(
+            vd, dst, dst.compute_host_names()[0],
+            lambda new_vd, rep: finished.append(rep),
+        )
+        sim.run()
+        assert migrator.completed == 1 and migrator.aborted == 0
+        assert finished and not finished[0].aborted
+
+
+# ----------------------------------------------------------------------
+# Health monitor: overlapping faults on the same node
+# ----------------------------------------------------------------------
+class TestOverlappingIncidents:
+    def test_heartbeat_and_hang_incidents_resolve_independently(self):
+        from repro.agent.base import IoRequest
+
+        sim = Simulator(seed=1)
+        monitor = HealthMonitor(
+            sim, HealthPolicy(heartbeat_interval_ns=10 * MS, miss_threshold=2)
+        )
+        alive = [True]
+        monitor.register("node-a", lambda: alive[0])
+        hang_mon = IoHangMonitor(
+            sim, threshold_ns=5 * MS, on_hang=monitor.report_hang
+        )
+        # Two overlapping faults on the same node: a hung I/O (declared
+        # at 5ms) and a heartbeat loss (node dies at 12ms, declared at
+        # 30ms after two misses).
+        io = IoRequest("write", "node-a", 0, 4096, lambda io: None)
+        hang_mon.watch(io)
+        sim.schedule_at(12 * MS, lambda: alive.__setitem__(0, False))
+        # Causes clear at different times: the I/O answers at 40ms, the
+        # node recovers at 55ms.
+        sim.schedule_at(40 * MS, monitor.note_io_completed, io)
+        sim.schedule_at(55 * MS, lambda: alive.__setitem__(0, True))
+        monitor.start(until_ns=100 * MS)
+        sim.run()
+
+        hangs = monitor.incidents_of(IO_HANG)
+        losses = monitor.incidents_of(HEARTBEAT_LOSS)
+        assert [i.node for i in hangs] == ["node-a"]
+        assert [i.node for i in losses] == ["node-a"]
+        # Each incident resolved when *its* cause cleared, not when the
+        # other one's did.
+        assert hangs[0].resolved_ns == 40 * MS
+        assert losses[0].resolved_ns == 60 * MS  # first healthy sweep
+        assert not monitor.open_incidents()
+        assert monitor.open_hangs() == {}
+
+    def test_completion_without_hang_is_noop(self):
+        from repro.agent.base import IoRequest
+
+        sim = Simulator()
+        monitor = HealthMonitor(sim, HealthPolicy())
+        io = IoRequest("write", "vd0", 0, 4096, lambda io: None)
+        monitor.note_io_completed(io)  # never hung: must not raise
+        assert monitor.incidents == []
+
+    def test_resolve_is_idempotent_and_stampable(self):
+        sim = Simulator()
+        monitor = HealthMonitor(sim, HealthPolicy())
+        resolved = []
+        monitor.subscribe_resolved(resolved.append)
+        incident = monitor.declare(HEARTBEAT_LOSS, "node-a", "test")
+        monitor.resolve(incident, at_ns=7 * MS)
+        monitor.resolve(incident, at_ns=9 * MS)  # second call: no-op
+        assert incident.resolved_ns == 7 * MS
+        assert len(resolved) == 1
+
+
+# ----------------------------------------------------------------------
+# Failover: per-stack probe prefixes + quarantine lift on recovery
+# ----------------------------------------------------------------------
+class TestFailoverScoping:
+    def _kill(self, dep, name, up=False):
+        for channel in dep.topology.hosts[name].uplinks:
+            channel.up = up
+
+    def test_node_prefix_scopes_incidents_to_one_deployment(self):
+        sim = Simulator(seed=3)
+        dep_a = EbsDeployment(DeploymentSpec(stack="luna", seed=3), sim=sim)
+        dep_b = EbsDeployment(DeploymentSpec(stack="solar", seed=3), sim=sim)
+        VirtualDisk(dep_a, "vd-a", dep_a.compute_host_names()[0], 32 * 1024 * 1024)
+        VirtualDisk(dep_b, "vd-b", dep_b.compute_host_names()[0], 32 * 1024 * 1024)
+        monitor = HealthMonitor(sim, HealthPolicy())
+        orch_a = FailoverOrchestrator(dep_a, monitor, node_prefix="a/")
+        orch_b = FailoverOrchestrator(dep_b, monitor, node_prefix="b/")
+        orch_a.watch_storage()
+        orch_b.watch_storage()
+        victim = sorted(dep_a.storage_servers)[0]
+        sim.schedule_at(50 * MS, self._kill, dep_a, victim)
+        monitor.start(until_ns=1 * SECOND)
+        sim.run()
+        # The same host name exists in both deployments; only the one
+        # registered under the "a/" prefix is actually dead.
+        assert [r.node for r in orch_a.records] == [victim]
+        assert orch_b.records == []
+        assert dep_b.segment_table.evacuated == frozenset()
+
+    def test_quarantine_lifts_when_node_recovers(self):
+        dep = small_deployment()
+        VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 64 * 1024 * 1024)
+        monitor = HealthMonitor(dep.sim, HealthPolicy())
+        orch = FailoverOrchestrator(dep, monitor)
+        orch.watch_storage()
+        victim = sorted(dep.storage_servers)[0]
+        quarantined = []
+        dep.sim.schedule_at(50 * MS, self._kill, dep, victim)
+        dep.sim.schedule_at(
+            400 * MS,
+            lambda: quarantined.append(victim in dep.segment_table.evacuated),
+        )
+        dep.sim.schedule_at(500 * MS, self._kill, dep, victim, True)
+        monitor.start(until_ns=1 * SECOND)
+        dep.sim.run()
+        assert len(orch.records) == 1
+        # Dead: the victim was quarantined.  Recovered: the quarantine
+        # lifted, so new provisions may use it again.
+        assert quarantined == [True]
+        assert victim not in dep.segment_table.evacuated

@@ -297,6 +297,54 @@ class TestSegmentEvacuation:
         with pytest.raises(ValueError):
             table.evacuate("bs0", ["bs1", "bs2"])
 
+    def test_double_evacuation_is_idempotent(self):
+        # Overlapping incidents (heartbeat loss + I/O hangs on one node)
+        # can both trigger failover; the second evacuation must not move
+        # or double-count anything.
+        table = self._provision()
+        healthy = [s for s in self.SERVERS if s != "bs0"]
+        first = table.evacuate("bs0", healthy)
+        snapshot = [
+            (s.block_server, s.replicas) for s in table.segments_of("vd0")
+        ]
+        assert sum(first.values()) > 0
+        assert table.evacuate("bs0", healthy) == {}
+        assert [
+            (s.block_server, s.replicas) for s in table.segments_of("vd0")
+        ] == snapshot
+
+    def test_evacuated_server_excluded_from_provision(self):
+        table = self._provision()
+        table.evacuate("bs0", [s for s in self.SERVERS if s != "bs0"])
+        assert table.evacuated == frozenset({"bs0"})
+        segments = table.provision(
+            "vd1", 8 * 1024 * 1024, self.SERVERS, self.SERVERS
+        )
+        for seg in segments:
+            assert seg.block_server != "bs0"
+            assert "bs0" not in seg.replicas
+
+    def test_evacuated_servers_excluded_as_replacements(self):
+        table = self._provision()
+        table.evacuate("bs0", [s for s in self.SERVERS if s != "bs0"])
+        # bs0 sneaking into the replacement list must be ignored, not
+        # receive segments back while still quarantined.
+        table.evacuate("bs1", ["bs0", "bs2", "bs3", "bs4"])
+        assert table.segments_on("bs0") == []
+
+    def test_restore_lifts_quarantine(self):
+        table = self._provision()
+        healthy = [s for s in self.SERVERS if s != "bs0"]
+        table.evacuate("bs0", healthy)
+        table.restore("bs0")
+        assert table.evacuated == frozenset()
+        segments = table.provision(
+            "vd1", 8 * 1024 * 1024, ["bs0"], ["bs0", "bs1", "bs2"]
+        )
+        assert all(seg.block_server == "bs0" for seg in segments)
+        # A restored server that dies again evacuates normally.
+        assert sum(table.evacuate("bs0", healthy).values()) > 0
+
 
 class TestQos:
     def test_token_bucket_admits_within_rate(self):
