@@ -1,0 +1,136 @@
+"""Re-replication storm policy study: Table 2's recovery as a trade-off.
+
+Each point kills one storage node under live fio load and rebuilds the
+lost replicas as real backend-network traffic through ``repro.rebuild``,
+measuring the two numbers every operator trades against each other: how
+fast the fleet is back to full replication (recovery time) and what the
+storm did to foreground tail latency (p99 during the storm).  The grid is
+{static-cap, deadline, reactive} x {unicast, swarm}; with ``replicas=4``
+one node death leaves three surviving seeds per segment, so swarm mode
+streams from all three concurrently.
+
+The knobs are deliberately contention-bound, not throttle-bound: the
+40 Gbit/s cap sits between unicast's measured aggregate (~19 Gbit/s from
+three sequential streams) and swarm's (~44 Gbit/s from nine), and the
+2 ms deadline needs ~25 Gbit/s — infeasible for unicast, so the deadline
+policy's rate clamp turns the race throughput-bound too.  That is the
+regime where seeding from every survivor matters, which is the paper's
+argument for swarm rebuild in the first place.
+
+Shape assertions:
+
+* every configuration fully recovers (balanced ledger, no stalls);
+* swarm strictly beats unicast recovery time under every policy;
+* artifacts are byte-identical across ``REPRO_JOBS`` values (each point
+  is a pure function of (spec, seed) — re-running one point in-process
+  must reproduce the fanout's bytes exactly).
+"""
+
+from __future__ import annotations
+
+from common import fanout, format_table, once, save_output
+
+from repro.lab.spec import (
+    ExperimentSpec,
+    RebuildSpec,
+    WorkloadSpec,
+    canonical_json,
+)
+from repro.rebuild.drill import execute_rebuild_point
+from repro.sim import MS
+
+SEED = 42
+POLICIES = ("static", "deadline", "reactive")
+MODES = ("unicast", "swarm")
+#: Surviving seeds per segment after the kill (replicas - 1).
+SURVIVING_SEEDS = 3
+
+
+def storm_spec(policy: str, mode: str) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=f"bench/rebuild-storm/{policy}/{mode}",
+        workload=WorkloadSpec(mode="fio", runtime_ns=30 * MS),
+        seeds=(SEED,),
+        vd_size_mb=16,
+        rebuild=RebuildSpec(
+            policy=policy,
+            mode=mode,
+            rate_gbps=40.0,
+            deadline_ms=2,
+            target_p99_us=500,
+            replicas=SURVIVING_SEEDS + 1,
+            chunk_kb=256,
+            fail_at_ns=5 * MS,
+            node_index=1,
+        ),
+    )
+
+
+def storm_point(policy: str, mode: str) -> dict:
+    return execute_rebuild_point(storm_spec(policy, mode), SEED)
+
+
+def run_storms() -> str:
+    grid = [(p, m) for p in POLICIES for m in MODES]
+    artifacts = fanout(storm_point, grid)
+    by_config = {cfg: art for cfg, art in zip(grid, artifacts)}
+
+    # Determinism across REPRO_JOBS: the fanout may have computed this
+    # point in a worker process; recomputing it here must be byte-equal.
+    probe = ("static", "unicast")
+    assert canonical_json(by_config[probe]) == canonical_json(
+        storm_point(*probe)
+    ), "rebuild artifact differs between fanout worker and in-process run"
+
+    rows = []
+    recovery = {}
+    for (policy, mode), art in by_config.items():
+        rb = art["rebuild"]
+        assert rb["complete"], f"{policy}/{mode} did not fully recover: " \
+            f"{rb['ledger']}"
+        ledger = rb["ledger"]
+        assert ledger["started"] == ledger["completed"], \
+            f"{policy}/{mode} ledger unbalanced: {ledger}"
+        recovery[(policy, mode)] = rb["recovery_ns"]
+        fg = rb["foreground"]
+        rows.append([
+            policy, mode,
+            f"{rb['bytes_rebuilt'] / 1e6:.1f}",
+            f"{rb['recovery_ns'] / MS:.2f}",
+            f"{fg['p99_ns'] / 1000:.0f}",
+            f"{fg['p99_during_storm_ns'] / 1000:.0f}",
+            f"{fg['max_during_storm_ns'] / 1000:.0f}",
+        ])
+    table = format_table(
+        ["policy", "mode", "MB moved", "recovery ms", "fg p99 us",
+         "storm p99 us", "storm max us"],
+        rows,
+    )
+
+    # The acceptance claim: with >= 3 surviving seeds, swarm strictly
+    # beats unicast under every throttle policy.
+    for policy in POLICIES:
+        uni, swarm = recovery[(policy, "unicast")], recovery[(policy, "swarm")]
+        assert swarm < uni, (
+            f"{policy}: swarm ({swarm / MS:.2f}ms) not strictly faster than "
+            f"unicast ({uni / MS:.2f}ms) at {SURVIVING_SEEDS} surviving seeds"
+        )
+
+    speedups = ", ".join(
+        f"{p}: {recovery[(p, 'unicast')] / recovery[(p, 'swarm')]:.2f}x"
+        for p in POLICIES
+    )
+    summary = (
+        f"\nswarm speedup over unicast ({SURVIVING_SEEDS} surviving seeds): "
+        f"{speedups}\n"
+    )
+    return (
+        "Re-replication storm: recovery time vs foreground p99 "
+        "(one node killed at 5ms under fio load):\n" + table + summary
+    )
+
+
+def test_rebuild_storm(benchmark):
+    text = once(benchmark, run_storms)
+    print("\n" + text)
+    save_output("rebuild_storm", text)

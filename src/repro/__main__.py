@@ -27,6 +27,7 @@ from .ebs import DeploymentSpec, EbsDeployment, STACKS, VirtualDisk
 from .faults import IoHangMonitor
 from .lab.cli import add_sweep_parser, cmd_sweep
 from .net.failures import switch_blackhole
+from .rebuild.cli import add_rebuild_parser, cmd_rebuild
 from .sim import MS, SECOND
 from .telemetry.cli import add_monitor_parser, cmd_monitor
 
@@ -54,7 +55,7 @@ def cmd_info(_args) -> int:
     print(f"repro {__version__} — 'From Luna to Solar' (SIGCOMM 2022) reproduction")
     print(f"stacks: {', '.join(STACKS)}")
     print("subcommands: info | latency | compare | failover | sweep | upgrade "
-          "| monitor")
+          "| monitor | chaos | rebuild")
     return 0
 
 
@@ -144,6 +145,7 @@ def main(argv=None) -> int:
     add_upgrade_parser(sub)
     add_monitor_parser(sub)
     add_chaos_parser(sub)
+    add_rebuild_parser(sub)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -155,6 +157,7 @@ def main(argv=None) -> int:
         "upgrade": cmd_upgrade,
         "monitor": cmd_monitor,
         "chaos": cmd_chaos,
+        "rebuild": cmd_rebuild,
         None: cmd_info,
     }
     return handlers[args.command](args)

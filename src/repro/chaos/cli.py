@@ -60,6 +60,14 @@ def add_chaos_parser(sub: argparse._SubParsersAction) -> None:
         "--save", metavar="FILE",
         help="hunt: write the shrunken failing scenario here",
     )
+    parser.add_argument(
+        "--rebuild-policy", default="",
+        choices=("", "static", "deadline", "reactive"),
+        help="hunt: route node failovers through the rebuild planner "
+             "under this throttle policy (default: off — instant "
+             "evacuation), enabling the trigger_rebuild / "
+             "fail_rebuild_source rules",
+    )
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -89,7 +97,7 @@ def _hunt(args: argparse.Namespace) -> int:
     from .harness import ChaosConfig
     from .machine import hunt
 
-    config = ChaosConfig(seed=args.seed)
+    config = ChaosConfig(seed=args.seed, rebuild_policy=args.rebuild_policy)
     failure = hunt(
         config=config,
         max_examples=args.examples,

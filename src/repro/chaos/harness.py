@@ -36,6 +36,8 @@ from ..ebs.deployment import DeploymentSpec
 from ..faults.fpga_errors import BitFlipInjector
 from ..net.failures import FailureScenario, node_failure, switch_failure
 from ..profiles import BLOCK_SIZE
+from ..rebuild import RebuildExecutor, RebuildPlanner, make_policy
+from ..rebuild.throttle import REBUILD_POLICIES
 from ..sim.events import MS, US
 from ..telemetry.plane import TelemetryPlane
 from .invariants import InvariantSuite, InvariantViolation
@@ -82,10 +84,26 @@ class ChaosConfig:
     #: (auto-resolution) checks.
     quiesce_ns: int = 150 * MS
     max_node_faults_per_stack: int = 2
+    #: Rebuild-storm mode: "" keeps the legacy instant evacuation; a
+    #: throttle policy name ("static"/"deadline"/"reactive") routes node
+    #: failovers through the `repro.rebuild` planner instead, so lost
+    #: replicas are re-copied as real backend-network traffic that the
+    #: trigger_rebuild / fail_rebuild_source actions can then attack.
+    rebuild_policy: str = ""
+    rebuild_rate_gbps: int = 8
+    rebuild_swarm: int = 1
+    rebuild_chunk_kb: int = 64
 
     def __post_init__(self) -> None:
         if len(self.stacks) < 2:
             raise ValueError("chaos needs >= 2 stacks to migrate between")
+        if self.rebuild_policy and self.rebuild_policy not in REBUILD_POLICIES:
+            raise ValueError(
+                f"rebuild_policy {self.rebuild_policy!r} must be '' (off) "
+                f"or one of {REBUILD_POLICIES}"
+            )
+        if self.rebuild_rate_gbps <= 0 or self.rebuild_chunk_kb <= 0:
+            raise ValueError("rebuild rate and chunk size must be positive")
         if self.drain_timeout_ns + self.attach_latency_ns > self.migration_budget_ns:
             raise ValueError(
                 "drain timeout + attach latency must fit the migration "
@@ -156,13 +174,37 @@ class ChaosHarness:
         # host names, so probes register under a per-stack prefix.
         self.orchestrators: Dict[str, FailoverOrchestrator] = {}
         self.planes: Dict[str, TelemetryPlane] = {}
+        # Empty when rebuild_policy is "" (legacy instant evacuation).
+        self.rebuild_executors: Dict[str, RebuildExecutor] = {}
+        self.rebuild_planners: Dict[str, RebuildPlanner] = {}
         for stack in config.stacks:
             deployment = self.cluster.deployments[stack]
+            planner = None
+            if config.rebuild_policy:
+                policy = make_policy(
+                    config.rebuild_policy,
+                    rate_bps=config.rebuild_rate_gbps * 1e9,
+                )
+                executor = RebuildExecutor(
+                    deployment,
+                    policy,
+                    swarm=bool(config.rebuild_swarm),
+                    chunk_bytes=config.rebuild_chunk_kb * 1024,
+                )
+                planner = RebuildPlanner(
+                    deployment,
+                    executor,
+                    monitor=self.monitor,
+                    node_prefix=f"{stack}/",
+                )
+                self.rebuild_executors[stack] = executor
+                self.rebuild_planners[stack] = planner
             orchestrator = FailoverOrchestrator(
                 deployment,
                 self.monitor,
                 FailoverPolicy(reroute_delay_ns=config.reroute_delay_ns),
                 node_prefix=f"{stack}/",
+                planner=planner,
             )
             orchestrator.watch_storage()
             self.orchestrators[stack] = orchestrator
@@ -172,6 +214,17 @@ class ChaosHarness:
                 slo_ns=config.slo_ns,
                 health=self.monitor,
             )
+            if stack in self.rebuild_executors:
+                self.planes[stack].watch_rebuild(self.rebuild_executors[stack])
+                if config.rebuild_policy == "reactive":
+                    # The reactive policy closes its loop over the plane's
+                    # foreground p99 sketches, exactly as in the drill.
+                    pol = self.rebuild_executors[stack].policy
+                    self.planes[stack].scraper.subscribe(
+                        lambda snap, pol=pol: pol.observe_window(
+                            snap.get("fleet.latency.p99")
+                        )
+                    )
             self.planes[stack].start()
         self.monitor.start()
         # FPGA bit-flip lever, armed at rate 0 on every SOLAR offload.
@@ -417,6 +470,40 @@ class ChaosHarness:
             return
         entry[0].revert(topology)
 
+    # -- rebuild storms -------------------------------------------------
+    def _do_trigger_rebuild(self, stack: str, node: int) -> None:
+        """Node kill routed through the rebuild planner: an alias of
+        ``fail_node`` that only fires when rebuilds are enabled, so a
+        scenario reads as what it actually exercises."""
+        if not self._known_stack(stack):
+            return
+        if stack not in self.rebuild_planners:
+            self.deferred_actions += 1
+            return
+        self._do_fail_node(stack, node)
+
+    def _do_fail_rebuild_source(self, stack: str, node: int) -> None:
+        """Kill a node that is actively *seeding* a rebuild, forcing the
+        executor's source-loss path (reserve promotion in unicast, stream
+        retirement in swarm, or a re-stall when no holder is left).  Books
+        under the same ("node", ...) fault key, so ``clear_node`` heals it
+        and the node-fault cap applies across both kill flavours."""
+        if not self._known_stack(stack):
+            return
+        executor = self.rebuild_executors.get(stack)
+        if executor is None:
+            self.deferred_actions += 1
+            return
+        failed = set(self.failed_nodes(stack))
+        sources = [s for s in executor.active_source_nodes() if s not in failed]
+        if not sources or len(failed) >= self.config.max_node_faults_per_stack:
+            self.deferred_actions += 1
+            return
+        name = sources[node % len(sources)]
+        scenario = node_failure(name)
+        scenario.apply(self.cluster.deployments[stack].topology)
+        self._faults[("node", stack, name)] = (scenario, self.sim.now)
+
     # -- FPGA corruption ------------------------------------------------
     def _do_set_bitflip(self, permille: int) -> None:
         rate = min(max(int(permille), 0), 1000) / 1000.0
@@ -496,6 +583,16 @@ class ChaosHarness:
             "migrations_aborted": len(self.cluster.aborted_migrations),
             "bitflips_injected": self.injector.total_injected,
             "integrity_events": self.integrity_events(),
+            "rebuild_ledgers": {
+                stack: self.rebuild_planners[stack].audit()
+                for stack in self.config.stacks
+                if stack in self.rebuild_planners
+            },
+            "rebuild_bytes": {
+                stack: self.rebuild_executors[stack].bytes_done
+                for stack in self.config.stacks
+                if stack in self.rebuild_executors
+            },
             "invariant_checks": self.suite.checks_run,
         }
 

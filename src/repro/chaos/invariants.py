@@ -22,6 +22,14 @@ integrity, §5 availability):
 * **hang-parity** — the online `SlowIoDiagnoser` tallies (per node and
   total) equal the offline `IoHangMonitor` counts, the same books
   `benchmarks/bench_fig8_io_hangs.py` balances.
+* **rebuild-ledger** — every rebuild transfer the planner ever started
+  is, at all times, exactly one of: completed, re-planned after its
+  destination died, in flight/queued, or parked as stalled.  Transfers
+  never vanish from the books, no matter how sources and destinations
+  die mid-copy.
+* **rebuild-settled** (final) — once faults are cleared and the cluster
+  has quiesced, no rebuild is still copying, queued or stalled, and the
+  segment table owes no pending rebuild destinations.
 
 Checks read only simulated state, so a violation is deterministic for a
 given scenario and the shrunken sequence hypothesis reports replays
@@ -58,9 +66,10 @@ class InvariantSuite:
         "check_detection_bounded",
         "check_migration_budget",
         "check_hang_parity",
+        "check_rebuild_ledger",
     )
     #: Additional checks that only make sense once the cluster quiesced.
-    FINAL_CHECKS = ("check_incident_resolution",)
+    FINAL_CHECKS = ("check_incident_resolution", "check_rebuild_settled")
 
     def __init__(self, harness: "ChaosHarness"):
         self.harness = harness
@@ -203,6 +212,45 @@ class InvariantSuite:
                 f"per-node hang tallies diverge: online {online_nodes} "
                 f"vs offline {h.offline_hangs}",
             )
+
+    def check_rebuild_ledger(self) -> None:
+        """Started rebuilds are completed, re-planned, active or stalled."""
+        h = self.harness
+        for stack in sorted(h.rebuild_planners):
+            ledger = h.rebuild_planners[stack].audit()
+            accounted = (
+                ledger["completed"]
+                + ledger["requeued"]
+                + ledger["active"]
+                + ledger["stalled"]
+            )
+            if ledger["started"] != accounted:
+                raise InvariantViolation(
+                    "rebuild-ledger",
+                    f"{stack}: {ledger['started']} rebuild transfer(s) "
+                    f"started but only {accounted} accounted for ({ledger}) "
+                    "— a rebuild was dropped without completing or being "
+                    "re-planned",
+                )
+
+    def check_rebuild_settled(self) -> None:
+        """Post-quiesce: no rebuild still copying, queued or stalled."""
+        h = self.harness
+        for stack in sorted(h.rebuild_planners):
+            ledger = h.rebuild_planners[stack].audit()
+            if ledger["active"] or ledger["stalled"]:
+                raise InvariantViolation(
+                    "rebuild-settled",
+                    f"{stack}: rebuild storm still open after quiesce: "
+                    f"{ledger}",
+                )
+            rebuilding = h.cluster.deployments[stack].segment_table.rebuilding
+            if rebuilding:
+                raise InvariantViolation(
+                    "rebuild-settled",
+                    f"{stack}: segment table still owes pending rebuild "
+                    f"destination(s) after quiesce: {rebuilding}",
+                )
 
     def check_incident_resolution(self) -> None:
         """Post-quiesce: every incident's cause cleared, so it resolved."""

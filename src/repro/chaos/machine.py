@@ -121,6 +121,22 @@ class ControlPlaneMachine(RuleBasedStateMachine):
     def start_migration(self, server: int) -> None:
         self._apply("migrate", server=server)
 
+    @precondition(lambda self: bool(self.CONFIG.rebuild_policy))
+    @rule(
+        stack=st.sampled_from(ChaosConfig().stacks),
+        node=st.integers(min_value=0, max_value=15),
+    )
+    def trigger_rebuild(self, stack: str, node: int) -> None:
+        self._apply("trigger_rebuild", stack=stack, node=node)
+
+    @precondition(lambda self: bool(self.CONFIG.rebuild_policy))
+    @rule(
+        stack=st.sampled_from(ChaosConfig().stacks),
+        node=st.integers(min_value=0, max_value=15),
+    )
+    def fail_rebuild_source(self, stack: str, node: int) -> None:
+        self._apply("fail_rebuild_source", stack=stack, node=node)
+
     # -- the suite, after every rule ------------------------------------
     @invariant()
     def control_plane_promises_hold(self) -> None:

@@ -60,11 +60,18 @@ class FailoverOrchestrator:
         monitor: HealthMonitor,
         policy: FailoverPolicy = FailoverPolicy(),
         node_prefix: str = "",
+        planner=None,
     ):
         self.deployment = deployment
         self.sim = deployment.sim
         self.monitor = monitor
         self.policy = policy
+        #: Optional :class:`~repro.rebuild.planner.RebuildPlanner` (duck
+        #: typed, no import cycle).  When set, a node failure plans real
+        #: re-replication traffic *instead of* instant evacuation: the
+        #: segment table is updated immediately (reads keep working off
+        #: survivors) but the new replicas fill at data-plane speed.
+        self.planner = planner
         #: Disambiguates probe names when several deployments (which reuse
         #: the same host names, e.g. ``sp/r0/h0`` per stack) share one
         #: monitor — e.g. ``"solar/"``.  Incident nodes carry the prefix;
@@ -127,6 +134,8 @@ class FailoverOrchestrator:
             return
         self._evacuated.discard(node)
         self.deployment.segment_table.restore(node)
+        if self.planner is not None:
+            self.planner.on_node_recovered(node)
 
     def _evacuate(self, node: str, incident: Incident) -> None:
         if node not in self._evacuated:
@@ -136,7 +145,10 @@ class FailoverOrchestrator:
             for name in sorted(self.deployment.storage_servers)
             if name != node and self._alive(name)
         ]
-        changed = self.deployment.segment_table.evacuate(node, healthy)
+        if self.planner is not None:
+            changed = self.planner.on_node_failure(node, healthy)
+        else:
+            changed = self.deployment.segment_table.evacuate(node, healthy)
         for vd_id in sorted(changed):
             self.deployment.refresh_vd(vd_id)
         self.records.append(

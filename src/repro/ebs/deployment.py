@@ -259,11 +259,12 @@ class EbsDeployment:
     # Provisioning and I/O
     # ------------------------------------------------------------------
     def provision_vd(
-        self, vd_id: str, size_bytes: int, qos: QosSpec = GENEROUS_QOS
+        self, vd_id: str, size_bytes: int, qos: QosSpec = GENEROUS_QOS,
+        replicas: int = 3,
     ) -> None:
         storage_names = sorted(self.storage_servers)
         segments = self.segment_table.provision(
-            vd_id, size_bytes, storage_names, storage_names
+            vd_id, size_bytes, storage_names, storage_names, replicas=replicas
         )
         self.qos_table.install(vd_id, qos)
         for offload in self.solar_offloads.values():

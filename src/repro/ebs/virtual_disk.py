@@ -32,13 +32,14 @@ class VirtualDisk:
         size_bytes: int,
         qos: QosSpec = GENEROUS_QOS,
         provision: bool = True,
+        replicas: int = 3,
     ):
         self.deployment = deployment
         self.vd_id = vd_id
         self.host_name = host_name
         self.size_bytes = size_bytes
         if provision:
-            deployment.provision_vd(vd_id, size_bytes, qos)
+            deployment.provision_vd(vd_id, size_bytes, qos, replicas=replicas)
         self.reads = 0
         self.writes = 0
         #: In-flight I/Os by io_id — the connection-draining state the

@@ -78,6 +78,11 @@ def execute_point(spec: ExperimentSpec, seed: int) -> Dict[str, Any]:
         from ..control.drill import execute_upgrade_point
 
         return execute_upgrade_point(spec, seed)
+    if spec.rebuild is not None:
+        # Same lazy-import rule: lab <- rebuild only inside the dispatch.
+        from ..rebuild.drill import execute_rebuild_point
+
+        return execute_rebuild_point(spec, seed)
     dep = EbsDeployment(dataclasses.replace(spec.deployment, seed=seed))
     host = dep.compute_host_names()[0]
     vd = VirtualDisk(dep, "lab-vd0", host, spec.vd_size_mb * 1024 * 1024)

@@ -34,7 +34,7 @@ from ..net.failures import (
 from ..sim import MS, SECOND, US
 
 #: Bump when the artifact layout changes: old cache entries stop matching.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 WORKLOAD_MODES = ("fio", "isolated", "trace")
 
@@ -253,6 +253,66 @@ class TelemetrySpec:
             )
 
 
+#: Valid throttle policies / transfer modes for :class:`RebuildSpec`
+#: (mirrors ``repro.rebuild.throttle.REBUILD_POLICIES`` without importing
+#: the data plane into the spec layer).
+REBUILD_POLICIES = ("static", "deadline", "reactive")
+REBUILD_MODES = ("unicast", "swarm")
+
+
+@dataclass(frozen=True)
+class RebuildSpec:
+    """Run a re-replication storm drill (`repro.rebuild`) at this point.
+
+    The point provisions its VD with ``replicas`` copies, runs the fio
+    foreground workload, kills one storage node at ``fail_at_ns``, and
+    lets the failover orchestrator hand the failure to a
+    :class:`~repro.rebuild.planner.RebuildPlanner` instead of the instant
+    evacuation path.  The artifact grows a ``rebuild`` section with the
+    recovery timeline and the foreground p99 measured *during* the storm
+    — one (recovery-time, foreground-impact) observation per point.
+    """
+
+    policy: str = "static"
+    mode: str = "unicast"
+    #: Static cap, and the deadline/reactive policies' rate ceiling
+    #: (gigabits/s, matching the profile idiom).
+    rate_gbps: float = 8.0
+    deadline_ms: int = 60
+    target_p99_us: int = 500
+    replicas: int = 3
+    chunk_kb: int = 256
+    fail_at_ns: int = 10 * MS
+    #: Which storage server dies (index into the sorted server list,
+    #: modulo fleet size).
+    node_index: int = 0
+    max_active_transfers: int = 4
+
+    def __post_init__(self) -> None:
+        if self.policy not in REBUILD_POLICIES:
+            raise ValueError(
+                f"policy must be one of {REBUILD_POLICIES}, got {self.policy!r}"
+            )
+        if self.mode not in REBUILD_MODES:
+            raise ValueError(
+                f"mode must be one of {REBUILD_MODES}, got {self.mode!r}"
+            )
+        if self.rate_gbps <= 0:
+            raise ValueError(f"rate_gbps must be positive: {self.rate_gbps}")
+        if self.deadline_ms <= 0 or self.target_p99_us <= 0:
+            raise ValueError(f"invalid rebuild pacing targets: {self}")
+        if self.replicas < 2:
+            raise ValueError(f"rebuild drills need >= 2 replicas: {self.replicas}")
+        if self.chunk_kb <= 0 or (self.chunk_kb * 1024) % 4096:
+            raise ValueError(f"chunk_kb must be a positive multiple of 4: {self.chunk_kb}")
+        if self.fail_at_ns < 0 or self.node_index < 0:
+            raise ValueError(f"invalid rebuild fault schedule: {self}")
+        if self.max_active_transfers < 1:
+            raise ValueError(
+                f"max_active_transfers must be >= 1: {self.max_active_transfers}"
+            )
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """One named experiment: deployment x workload x faults x seeds."""
@@ -272,6 +332,9 @@ class ExperimentSpec:
     #: When set, the point runs under the `repro.telemetry` plane and its
     #: artifact grows a ``telemetry`` section.
     telemetry: Optional[TelemetrySpec] = None
+    #: When set, the point runs a re-replication storm drill
+    #: (``repro.rebuild``) and its artifact grows a ``rebuild`` section.
+    rebuild: Optional[RebuildSpec] = None
 
     def __post_init__(self) -> None:
         if not self.seeds:
@@ -285,6 +348,13 @@ class ExperimentSpec:
             # which has no VD to watch; silently dropping the telemetry
             # request would be worse than refusing it.
             raise ValueError("upgrade drills do not support telemetry specs")
+        if self.rebuild is not None:
+            if self.upgrade is not None:
+                raise ValueError("a point runs either a rebuild or an upgrade drill")
+            if self.workload.mode != "fio":
+                # The storm's foreground-impact measurement is defined
+                # against the closed-loop fio load.
+                raise ValueError("rebuild drills require a fio workload")
 
     # -- serialization --------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -303,6 +373,7 @@ class ExperimentSpec:
         w["records"] = tuple(tuple(r) for r in w["records"])
         upgrade = d.pop("upgrade", None)
         telemetry = d.pop("telemetry", None)
+        rebuild = d.pop("rebuild", None)
         return cls(
             deployment=DeploymentSpec(**d.pop("deployment")),
             workload=WorkloadSpec(**w),
@@ -310,6 +381,7 @@ class ExperimentSpec:
             seeds=tuple(d.pop("seeds")),
             upgrade=UpgradeSpec(**upgrade) if upgrade is not None else None,
             telemetry=TelemetrySpec(**telemetry) if telemetry is not None else None,
+            rebuild=RebuildSpec(**rebuild) if rebuild is not None else None,
             **d,
         )
 

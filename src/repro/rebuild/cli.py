@@ -1,0 +1,122 @@
+"""CLI surface of the rebuild subsystem: ``python -m repro rebuild``.
+
+Runs one re-replication storm drill — fio foreground, one storage-node
+kill, the planner/executor recovering the lost replicas as real BN
+traffic under the chosen throttle policy — and prints either a human
+summary or (``--json``) the full canonical-JSON artifact.  The artifact
+is a pure function of the flags + seed, so CI runs the command twice and
+compares bytes to pin determinism.
+
+Exit status 2 means the storm did not fully recover inside the drill's
+bound (stalled or still copying) — scripts gate on 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..ebs import STACKS
+from ..lab.spec import (
+    REBUILD_MODES,
+    REBUILD_POLICIES,
+    ExperimentSpec,
+    RebuildSpec,
+    WorkloadSpec,
+    canonical_json,
+)
+from ..sim import MS
+
+#: Exit status for "the rebuild did not complete" (distinct from argparse 2
+#: usage errors only by context; kept at 2 to match failover/upgrade).
+EXIT_INCOMPLETE = 2
+
+
+def add_rebuild_parser(sub: argparse._SubParsersAction) -> None:
+    parser = sub.add_parser(
+        "rebuild",
+        help="re-replication storm drill (exits 2 if recovery is incomplete)",
+        description=(
+            "Kill one storage node under live fio load and rebuild the "
+            "lost replicas as real backend-network traffic, throttled by "
+            "the chosen policy."
+        ),
+    )
+    parser.add_argument("--stack", choices=STACKS, default="solar")
+    parser.add_argument("--policy", choices=REBUILD_POLICIES, default="static")
+    parser.add_argument("--mode", choices=REBUILD_MODES, default="unicast")
+    parser.add_argument("--rate-gbps", type=float, default=8.0,
+                        help="static cap / rate ceiling in Gbit/s (default 8)")
+    parser.add_argument("--deadline-ms", type=int, default=60,
+                        help="deadline policy's recovery target (default 60)")
+    parser.add_argument("--target-p99-us", type=int, default=500,
+                        help="reactive policy's foreground p99 target "
+                             "(default 500)")
+    parser.add_argument("--replicas", type=int, default=3)
+    parser.add_argument("--chunk-kb", type=int, default=256)
+    parser.add_argument("--vd-mb", type=int, default=16,
+                        help="virtual disk size in MB (default 16)")
+    parser.add_argument("--runtime-ms", type=int, default=30,
+                        help="foreground fio runtime in ms (default 30)")
+    parser.add_argument("--fail-at-ms", type=int, default=5,
+                        help="when the storage node dies (default 5)")
+    parser.add_argument("--node-index", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="print the full canonical-JSON artifact")
+
+
+def cmd_rebuild(args: argparse.Namespace) -> int:
+    from .drill import execute_rebuild_point
+
+    spec = ExperimentSpec(
+        name=f"cli-rebuild/{args.stack}/{args.policy}/{args.mode}",
+        workload=WorkloadSpec(mode="fio", runtime_ns=args.runtime_ms * MS),
+        seeds=(args.seed,),
+        vd_size_mb=args.vd_mb,
+        rebuild=RebuildSpec(
+            policy=args.policy,
+            mode=args.mode,
+            rate_gbps=args.rate_gbps,
+            deadline_ms=args.deadline_ms,
+            target_p99_us=args.target_p99_us,
+            replicas=args.replicas,
+            chunk_kb=args.chunk_kb,
+            fail_at_ns=args.fail_at_ms * MS,
+            node_index=args.node_index,
+        ),
+    )
+    spec = spec_with_stack(spec, args.stack)
+    artifact = execute_rebuild_point(spec, args.seed)
+    rb = artifact["rebuild"]
+    if args.json:
+        print(canonical_json(artifact).decode().rstrip("\n"))
+    else:
+        fg = rb["foreground"]
+        recovery = rb["recovery_ns"]
+        print(f"{args.stack} {args.policy}/{args.mode}: victim {rb['victim']}, "
+              f"{rb['bytes_rebuilt']} bytes over {rb['chunks_copied']} chunks")
+        print(f"  detected {fmt_ms(rb['detected_ns'])} after t0, recovery "
+              f"{fmt_ms(recovery)}, ledger {rb['ledger']}")
+        print(f"  foreground p99 {fmt_us(fg['p99_ns'])} overall, "
+              f"{fmt_us(fg['p99_during_storm_ns'])} during the storm "
+              f"({fg['samples_during_storm']} samples)")
+        if not rb["complete"]:
+            print("  rebuild INCOMPLETE", file=sys.stderr)
+    return 0 if rb["complete"] else EXIT_INCOMPLETE
+
+
+def spec_with_stack(spec: ExperimentSpec, stack: str) -> ExperimentSpec:
+    import dataclasses
+
+    return dataclasses.replace(
+        spec, deployment=dataclasses.replace(spec.deployment, stack=stack)
+    )
+
+
+def fmt_ms(ns) -> str:
+    return "n/a" if ns is None else f"{ns / MS:.2f}ms"
+
+
+def fmt_us(ns) -> str:
+    return "n/a" if ns is None else f"{ns / 1000:.1f}us"

@@ -1,0 +1,221 @@
+"""Throttle policies: how fast a re-replication storm may move bytes.
+
+The executor asks the active policy for a rate before issuing every chunk
+(`repro.rebuild.executor` runs one global leaky bucket over that rate),
+so policies see the storm's live progress and can pace it three ways:
+
+* :class:`StaticCapPolicy` — a fixed aggregate bandwidth cap, the classic
+  "rebuild at N Gbps, whatever happens to foreground" operator knob;
+* :class:`DeadlinePolicy` — pace to finish by a target recovery deadline:
+  rate = remaining bytes / remaining time, re-derived continuously, so
+  early progress slows the storm down and late re-queues speed it up;
+* :class:`ReactivePolicy` — AIMD backoff driven by the `repro.telemetry`
+  fleet p99 sketch: additive increase while foreground latency is under
+  the target, multiplicative decrease the moment a scrape window crosses
+  it.  An idle window (no foreground I/O, sketch empty, p99 ``None``)
+  reads as healthy — free bandwidth for the rebuild.
+
+All state is simulated-time only; a policy is a pure function of the
+scrape/grant history, which keeps rebuild artifacts byte-identical
+across ``REPRO_JOBS`` values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..sim.events import MS, US
+
+REBUILD_POLICIES = ("static", "deadline", "reactive")
+
+#: Grant-rate floor: keeps the leaky bucket's inter-chunk gap finite even
+#: if a policy backs off to (or is configured with) a pathological rate.
+MIN_RATE_BPS = 1e6
+
+
+class ThrottlePolicy:
+    """Interface the executor paces against."""
+
+    name = "base"
+
+    def on_plan(self, now_ns: int, added_bytes: int) -> None:
+        """A planner added ``added_bytes`` of copy work at ``now_ns``."""
+
+    def rate_bps(self, now_ns: int, remaining_bytes: int) -> float:
+        """Aggregate rebuild rate (bits/s) to pace the next chunk at."""
+        raise NotImplementedError
+
+    def observe_window(self, p99_ns: Optional[float]) -> None:
+        """One telemetry scrape window's foreground p99 (``None`` = idle)."""
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-scalar self-description for artifacts."""
+        return {"policy": self.name}
+
+
+class StaticCapPolicy(ThrottlePolicy):
+    """Fixed aggregate bandwidth cap."""
+
+    name = "static"
+
+    def __init__(self, rate_bps: float = 8e9):
+        if rate_bps <= 0:
+            raise ValueError(f"static cap must be positive: {rate_bps}")
+        self._rate = float(rate_bps)
+
+    def rate_bps(self, now_ns: int, remaining_bytes: int) -> float:
+        return self._rate
+
+    def describe(self) -> Dict[str, Any]:
+        return {"policy": self.name, "rate_bps": self._rate}
+
+
+class DeadlinePolicy(ThrottlePolicy):
+    """Pace to land the last byte by ``first plan + deadline_ns``.
+
+    The required rate is re-derived at every grant from the *live*
+    remaining byte count, so the policy self-corrects: re-queued
+    transfers raise the rate, early completion of other transfers lowers
+    it.  When the deadline is shorter than the minimum transfer time the
+    required rate exceeds ``max_rate_bps``; the policy clamps there and
+    flags ``deadline_missed`` instead of dividing by a vanishing window.
+    """
+
+    name = "deadline"
+
+    def __init__(
+        self,
+        deadline_ns: int = 60 * MS,
+        min_rate_bps: float = 1e8,
+        max_rate_bps: float = 64e9,
+    ):
+        if deadline_ns <= 0:
+            raise ValueError(f"deadline must be positive: {deadline_ns}")
+        if not 0 < min_rate_bps <= max_rate_bps:
+            raise ValueError(
+                f"need 0 < min <= max rate, got {min_rate_bps}..{max_rate_bps}"
+            )
+        self.deadline_ns = int(deadline_ns)
+        self.min_rate_bps = float(min_rate_bps)
+        self.max_rate_bps = float(max_rate_bps)
+        #: Absolute target, armed by the first plan.
+        self.deadline_at_ns: Optional[int] = None
+        self.deadline_missed = False
+
+    def on_plan(self, now_ns: int, added_bytes: int) -> None:
+        if self.deadline_at_ns is None:
+            self.deadline_at_ns = now_ns + self.deadline_ns
+
+    def rate_bps(self, now_ns: int, remaining_bytes: int) -> float:
+        if self.deadline_at_ns is None:
+            return self.max_rate_bps
+        left_ns = self.deadline_at_ns - now_ns
+        if left_ns <= 0:
+            if remaining_bytes > 0:
+                self.deadline_missed = True
+            return self.max_rate_bps
+        need = remaining_bytes * 8 * 1e9 / left_ns
+        if need > self.max_rate_bps:
+            self.deadline_missed = True
+            return self.max_rate_bps
+        return max(need, self.min_rate_bps)
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "policy": self.name,
+            "deadline_ns": self.deadline_ns,
+            "deadline_at_ns": self.deadline_at_ns,
+            "deadline_missed": self.deadline_missed,
+            "min_rate_bps": self.min_rate_bps,
+            "max_rate_bps": self.max_rate_bps,
+        }
+
+
+class ReactivePolicy(ThrottlePolicy):
+    """AIMD on the foreground p99: back off when guests feel the storm.
+
+    Wire ``observe_window`` to the telemetry scraper::
+
+        plane.scraper.subscribe(
+            lambda snap: policy.observe_window(snap.get("fleet.latency.p99"))
+        )
+
+    Windows with no completed foreground I/O scrape a ``None`` p99 (the
+    window sketch is empty) — treated as "no one is complaining", i.e.
+    additive increase, never a division or a stall.
+    """
+
+    name = "reactive"
+
+    def __init__(
+        self,
+        target_p99_ns: float = 500_000,
+        min_rate_bps: float = 5e8,
+        max_rate_bps: float = 64e9,
+        start_rate_bps: Optional[float] = None,
+        increase_bps: float = 4e9,
+        decrease_factor: float = 0.5,
+    ):
+        if target_p99_ns <= 0:
+            raise ValueError(f"target p99 must be positive: {target_p99_ns}")
+        if not 0 < min_rate_bps <= max_rate_bps:
+            raise ValueError(
+                f"need 0 < min <= max rate, got {min_rate_bps}..{max_rate_bps}"
+            )
+        if increase_bps <= 0 or not 0 < decrease_factor < 1:
+            raise ValueError(
+                f"invalid AIMD constants: +{increase_bps}bps x{decrease_factor}"
+            )
+        self.target_p99_ns = float(target_p99_ns)
+        self.min_rate_bps = float(min_rate_bps)
+        self.max_rate_bps = float(max_rate_bps)
+        self.increase_bps = float(increase_bps)
+        self.decrease_factor = float(decrease_factor)
+        self._rate = float(
+            min(max(start_rate_bps or max_rate_bps / 8, min_rate_bps), max_rate_bps)
+        )
+        self.windows_observed = 0
+        self.backoffs = 0
+
+    def observe_window(self, p99_ns: Optional[float]) -> None:
+        self.windows_observed += 1
+        if p99_ns is not None and p99_ns > self.target_p99_ns:
+            self._rate = max(self._rate * self.decrease_factor, self.min_rate_bps)
+            self.backoffs += 1
+        else:
+            self._rate = min(self._rate + self.increase_bps, self.max_rate_bps)
+
+    def rate_bps(self, now_ns: int, remaining_bytes: int) -> float:
+        return self._rate
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "policy": self.name,
+            "target_p99_ns": self.target_p99_ns,
+            "min_rate_bps": self.min_rate_bps,
+            "max_rate_bps": self.max_rate_bps,
+            "rate_bps": self._rate,
+            "windows_observed": self.windows_observed,
+            "backoffs": self.backoffs,
+        }
+
+
+def make_policy(
+    name: str,
+    rate_bps: float = 8e9,
+    deadline_ns: int = 60 * MS,
+    target_p99_ns: float = 500 * US,
+) -> ThrottlePolicy:
+    """Construct one of the three policies from scalar knobs.
+
+    ``rate_bps`` is the static cap, and doubles as the deadline/reactive
+    policies' ``max_rate_bps`` ceiling so one knob bounds every policy's
+    worst-case foreground impact.
+    """
+    if name == "static":
+        return StaticCapPolicy(rate_bps=rate_bps)
+    if name == "deadline":
+        return DeadlinePolicy(deadline_ns=deadline_ns, max_rate_bps=rate_bps)
+    if name == "reactive":
+        return ReactivePolicy(target_p99_ns=target_p99_ns, max_rate_bps=rate_bps)
+    raise ValueError(f"unknown throttle policy {name!r}; one of {REBUILD_POLICIES}")

@@ -9,35 +9,49 @@ The chunk store keeps real payload bytes (and their CRCs) when blocks
 carry data, so end-to-end integrity experiments read back exactly what
 survived the datapath — corruptions injected anywhere upstream are
 faithfully persisted and later detected.
+
+Besides guest "write"/"read" requests, chunk servers serve the
+re-replication data plane (`repro.rebuild`): ``rebuild_read`` streams a
+chunk-sized run of stored blocks off a surviving replica, and
+``rebuild_write`` installs them on the new replica.  Both charge the same
+CPU and SSD resources as foreground I/O, so rebuild storms genuinely
+contend with guest traffic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
-from ..profiles import SsdProfile
+from ..profiles import BLOCK_SIZE, SsdProfile
 from ..host.server import StorageServer
 from ..sim.engine import Simulator
 from .block import DataBlock
 from .crc import crc32
 from .ssd import SsdDevice
 
+#: (lba, payload-or-None, crc) rows moved by one rebuild transfer chunk.
+RebuildEntry = Tuple[int, Optional[bytes], int]
+
+CHUNK_REQUEST_KINDS = ("write", "read", "rebuild_read", "rebuild_write")
+
 
 @dataclass
 class ChunkRequest:
     """A BN request to a chunk server."""
 
-    kind: str  # "write" | "read"
+    kind: str  # one of CHUNK_REQUEST_KINDS
     segment_id: str
     vd_id: str
     lba: int
     size_bytes: int
     data: Optional[bytes] = None
     crc: Optional[int] = None
+    #: rebuild_write only: the stored rows to install at the destination.
+    entries: List[RebuildEntry] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("write", "read"):
+        if self.kind not in CHUNK_REQUEST_KINDS:
             raise ValueError(f"bad chunk request kind: {self.kind!r}")
 
 
@@ -50,6 +64,8 @@ class ChunkReply:
     size_bytes: int
     data: Optional[bytes] = None
     crc: Optional[int] = None
+    #: rebuild_read only: the stored rows found in the chunk's LBA range.
+    entries: List[RebuildEntry] = field(default_factory=list)
     error: str = ""
     #: Time spent inside the chunk server (CPU + SSD), for trace splitting:
     #: Figure 6's "SSD" component "includes the processing time in chunk
@@ -76,6 +92,8 @@ class ChunkServer:
         self.store: Dict[Tuple[str, int], Tuple[Optional[bytes], int]] = {}
         self.writes_served = 0
         self.reads_served = 0
+        self.rebuild_reads_served = 0
+        self.rebuild_writes_served = 0
         #: Commit-aggregation state (§2.3 fn.1): writes arriving within
         #: one window batch into a single sequential device commit.
         self._commit_batch: list = []
@@ -102,9 +120,17 @@ class ChunkServer:
                 self.ssd.submit_write(
                     request.size_bytes, self._finish_write, request, reply, start_ns
                 )
-        else:
+        elif request.kind == "read":
             self.ssd.submit_read(
                 request.size_bytes, self._finish_read, request, reply, start_ns
+            )
+        elif request.kind == "rebuild_read":
+            self.ssd.submit_read(
+                request.size_bytes, self._finish_rebuild_read, request, reply, start_ns
+            )
+        else:  # rebuild_write: one bulk sequential commit, no aggregation
+            self.ssd.submit_write(
+                request.size_bytes, self._finish_rebuild_write, request, reply, start_ns
             )
 
     # ------------------------------------------------------------------
@@ -167,6 +193,41 @@ class ChunkServer:
                 data=data, crc=crc, service_ns=self.sim.now - start_ns,
             ),
             request.size_bytes + 64,
+        )
+
+    # ------------------------------------------------------------------
+    # Re-replication (repro.rebuild): chunk-granular replica copies.
+    # ------------------------------------------------------------------
+    def _finish_rebuild_read(self, request: ChunkRequest, reply, start_ns: int) -> None:
+        """Stream every stored block in [lba, lba + size/BLOCK) to a peer."""
+        entries: List[RebuildEntry] = []
+        for lba in range(request.lba, request.lba + request.size_bytes // BLOCK_SIZE):
+            stored = self.store.get((request.segment_id, lba))
+            if stored is not None:
+                entries.append((lba, stored[0], stored[1]))
+        self.rebuild_reads_served += 1
+        reply(
+            ChunkReply(
+                True, "rebuild_read", request.segment_id, request.lba,
+                request.size_bytes, entries=entries,
+                service_ns=self.sim.now - start_ns,
+            ),
+            request.size_bytes + 64,
+        )
+
+    def _finish_rebuild_write(self, request: ChunkRequest, reply, start_ns: int) -> None:
+        """Install copied rows.  ``setdefault`` semantics: a foreground
+        write that raced ahead of the copy already holds fresher bytes at
+        the destination and must never be clobbered by rebuild data."""
+        for lba, payload, crc in request.entries:
+            self.store.setdefault((request.segment_id, lba), (payload, crc))
+        self.rebuild_writes_served += 1
+        reply(
+            ChunkReply(
+                True, "rebuild_write", request.segment_id, request.lba,
+                request.size_bytes, service_ns=self.sim.now - start_ns,
+            ),
+            64,  # ack frame
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -41,6 +41,31 @@ class Segment:
 
 
 @dataclass(frozen=True)
+class RebuildItem:
+    """One under-replicated segment's copy job, as planned by the table.
+
+    ``sources`` are the members that still hold the bytes (survivors that
+    are not themselves pending rebuild destinations); ``destination`` is
+    the freshly-picked replica that must be filled.  ``requeued`` marks a
+    job that replaces an earlier pending rebuild whose destination died
+    mid-copy — the transfer restarts from zero on the new destination.
+    """
+
+    vd_id: str
+    index: int
+    segment_id: str
+    start_lba: int
+    num_blocks: int
+    destination: str
+    sources: Tuple[str, ...]
+    requeued: bool = False
+
+    @property
+    def bytes_total(self) -> int:
+        return self.num_blocks * BLOCK_SIZE
+
+
+@dataclass(frozen=True)
 class Extent:
     """A sub-range of one I/O that lands inside a single segment."""
 
@@ -64,6 +89,12 @@ class SegmentTable:
         #: host must not double-count ``segments_moved`` or re-place data
         #: onto a node the fleet already considers dead.
         self._evacuated: set = set()
+        #: Pending-rebuild state: segment_id -> replica names that are in
+        #: the membership but have not yet received the segment's bytes.
+        #: Distinguishes "degraded, rebuilding" from "replica policy
+        #: violated" for the invariant checks, and lets a destination that
+        #: dies mid-copy hand its in-flight transfers to a replacement.
+        self._rebuilding: Dict[str, set] = {}
 
     def provision(
         self,
@@ -156,15 +187,42 @@ class SegmentTable:
         ``{}`` — it must not double-count moved segments.  The server
         stays quarantined from new placement until :meth:`restore`.
         """
+        changed, _items = self._relocate(server, replacements, rebuild=False)
+        return changed
+
+    def begin_rebuild(
+        self, server: str, replacements: Sequence[str]
+    ) -> Tuple[Dict[str, int], List[RebuildItem]]:
+        """Like :meth:`evacuate`, but the replacement replicas start empty:
+        each segment where ``server`` held a copy becomes *pending rebuild*
+        and a :class:`RebuildItem` describes the copy job (sources,
+        destination, byte count) the `repro.rebuild` executor must run.
+
+        The destination is appended *last* in the membership tuple so the
+        read path (``replicas[0]``) keeps landing on a data-holding
+        survivor for as long as one exists.  If ``server`` was itself a
+        pending destination of an earlier rebuild, that job's bytes are
+        lost with it — the emitted item carries ``requeued=True`` and the
+        pending marker moves to the fresh destination, so in-flight
+        transfers are re-queued instead of silently dropped.
+
+        Same quarantine and idempotency contract as :meth:`evacuate`.
+        """
+        return self._relocate(server, replacements, rebuild=True)
+
+    def _relocate(
+        self, server: str, replacements: Sequence[str], rebuild: bool
+    ) -> Tuple[Dict[str, int], List[RebuildItem]]:
         if server in replacements:
             raise ValueError(f"cannot evacuate {server!r} onto itself")
         replacements = [r for r in replacements if r not in self._evacuated]
         if not replacements:
             raise ValueError("evacuation needs at least one healthy server")
         if server in self._evacuated:
-            return {}
+            return {}, []
         self._evacuated.add(server)
         changed: Dict[str, int] = {}
+        items: List[RebuildItem] = []
         for vd_id, index, seg in self.segments_on(server):
             new_bs = seg.block_server
             if new_bs == server:
@@ -180,12 +238,59 @@ class SegmentTable:
                         f"{list(replacements)} already hold a copy"
                     )
                 pick = pool[self._spread(seg.segment_id, "fo-rep") % len(pool)]
-                new_reps = tuple(pick if r == server else r for r in new_reps)
+                pending = self._rebuilding.get(seg.segment_id)
+                requeued = bool(pending) and server in pending
+                if requeued:
+                    pending.discard(server)
+                if rebuild:
+                    survivors = tuple(r for r in new_reps if r != server)
+                    new_reps = survivors + (pick,)
+                    pending = self._rebuilding.setdefault(seg.segment_id, set())
+                    pending.add(pick)
+                    sources = tuple(r for r in survivors if r not in pending)
+                    items.append(
+                        RebuildItem(
+                            vd_id, index, seg.segment_id, seg.start_lba,
+                            seg.num_blocks, pick, sources, requeued=requeued,
+                        )
+                    )
+                else:
+                    # Instant-evacuation semantics (no rebuild data plane):
+                    # the pick takes the dead server's slot.  A pending
+                    # marker that pointed at the dead server follows the
+                    # replacement so the books stay consistent.
+                    new_reps = tuple(pick if r == server else r for r in new_reps)
+                    if requeued:
+                        self._rebuilding[seg.segment_id].add(pick)
             self._segments[vd_id][index] = dataclasses.replace(
                 seg, block_server=new_bs, replicas=new_reps
             )
             changed[vd_id] = changed.get(vd_id, 0) + 1
-        return changed
+        return changed, items
+
+    def complete_rebuild(self, segment_id: str, destination: str) -> bool:
+        """Mark one pending destination as filled.  Returns ``False`` when
+        the (segment, destination) pair is no longer pending — e.g. the
+        destination died and its job was re-queued elsewhere."""
+        pending = self._rebuilding.get(segment_id)
+        if not pending or destination not in pending:
+            return False
+        pending.discard(destination)
+        if not pending:
+            del self._rebuilding[segment_id]
+        return True
+
+    @property
+    def rebuilding(self) -> Dict[str, Tuple[str, ...]]:
+        """Pending rebuilds: segment_id -> sorted destination names."""
+        return {
+            seg_id: tuple(sorted(dests))
+            for seg_id, dests in sorted(self._rebuilding.items())
+            if dests
+        }
+
+    def pending_destinations(self, segment_id: str) -> frozenset:
+        return frozenset(self._rebuilding.get(segment_id, ()))
 
     def restore(self, server: str) -> None:
         """Lift a server's evacuation quarantine (it rejoined the fleet).

@@ -144,6 +144,34 @@ class TelemetryPlane:
 
         vd.subscribe(observe)
 
+    def watch_rebuild(self, executor) -> None:
+        """Export one rebuild executor's storm progress as gauges.
+
+        ``rebuild.rate_bps`` samples the throttle policy's current answer,
+        so a scraped dashboard shows the reactive policy breathing; the
+        byte/transfer gauges make recovery progress and its foreground
+        impact (via ``fleet.latency.p99`` on the same snapshots) a single
+        correlated time series.
+        """
+        self.registry.gauge(
+            "rebuild.bytes_planned", fn=lambda: float(executor.bytes_planned)
+        )
+        self.registry.gauge(
+            "rebuild.bytes_done", fn=lambda: float(executor.bytes_done)
+        )
+        self.registry.gauge(
+            "rebuild.active", fn=lambda: float(executor.active_count)
+        )
+        self.registry.gauge(
+            "rebuild.queued", fn=lambda: float(executor.queued_count)
+        )
+        self.registry.gauge(
+            "rebuild.transfers_done", fn=lambda: float(executor.transfers_done)
+        )
+        self.registry.gauge(
+            "rebuild.rate_bps", fn=lambda: float(executor.current_rate_bps())
+        )
+
     def on_hang(self, io: IoRequest) -> None:
         """Hang-signal inlet — wire as ``IoHangMonitor(on_hang=...)``."""
         self._hangs.inc()
