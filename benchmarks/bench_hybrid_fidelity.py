@@ -1,0 +1,190 @@
+"""Hybrid-fidelity validation: fluid mode vs detailed mode on the
+Figure 6 workload shape.
+
+The hybrid kernel (``repro.sim.fluid``) simulates only detail windows —
+an initial calibration window, an SLO-boundary recalibration every
+100 ms, and guard windows around injected events — and synthesizes the
+steady-state bulk analytically from the calibrated latency reservoirs.
+This bench is the fidelity contract for that shortcut, on the same
+production-shaped open-loop workload as ``bench_fig6_latency_breakdown``
+(SOLAR stack, mixed sizes, 22% reads, payload encryption):
+
+* **accuracy** — 4KB latency summaries from the hybrid run must match a
+  fully detailed run of the same horizon: total p50 within 10%, total
+  p95 within 20%, and every ≥1us Figure 6 component (SA/FN/BN/SSD)
+  within 20% at the median;
+* **cost** — the hybrid run must process ≥20x fewer simulator events
+  and finish ≥20x faster in wall-clock time (detail windows are 3.5% of
+  the 400 ms horizon).
+
+Results land in ``BENCH_hybrid.json`` next to the kernel baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from common import OUT_DIR, format_table, once, save_output
+
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.metrics.stats import percentile
+from repro.metrics.trace import COMPONENTS
+from repro.sim import MS, FidelityController, HybridRun
+from repro.workloads import ProductionWorkload
+
+SEED = 61
+HORIZON_NS = 400 * MS
+LOAD_IOPS_PER_HOST = 50_000
+SHAPE = dict(
+    stack="solar", seed=SEED, encrypt_payloads=True,
+    compute_racks=1, compute_hosts_per_rack=2,
+    storage_racks=2, storage_hosts_per_rack=4,
+)
+
+#: Stated tolerance of the fidelity contract.
+TOL_P50 = 0.10
+TOL_P95 = 0.20
+TOL_COMPONENT_P50 = 0.20
+
+
+def _deployment_and_vds():
+    dep = EbsDeployment(DeploymentSpec(**SHAPE))
+    vds = [
+        VirtualDisk(dep, f"vd{i}", host, 512 * 1024 * 1024)
+        for i, host in enumerate(dep.compute_host_names())
+    ]
+    return dep, vds
+
+
+def _summarize(dep) -> dict:
+    out = {}
+    for kind in ("read", "write"):
+        traces = [t for t in dep.collector.completed(kind) if t.size_bytes == 4096]
+        totals = sorted(t.total_ns for t in traces)
+        entry = {
+            "n": len(traces),
+            "p50_us": percentile(totals, 50) / 1000,
+            "p95_us": percentile(totals, 95) / 1000,
+        }
+        for c in COMPONENTS:
+            entry[f"{c}_p50_us"] = percentile(
+                sorted(t.components[c] for t in traces), 50
+            ) / 1000
+        out[kind] = entry
+    return out
+
+
+def run_detailed() -> dict:
+    dep, vds = _deployment_and_vds()
+    for i, vd in enumerate(vds):
+        ProductionWorkload(dep.sim, vd, LOAD_IOPS_PER_HOST, HORIZON_NS,
+                           name=f"hybrid/flow{i}/0").start()
+    wall = time.perf_counter()
+    dep.run(until_ns=HORIZON_NS + 20 * MS)
+    wall = time.perf_counter() - wall
+    return {
+        "mode": "detailed",
+        "wall_s": round(wall, 4),
+        "events": dep.sim.events_processed,
+        "ios": len(dep.collector.traces),
+        "summary": _summarize(dep),
+    }
+
+
+def run_hybrid() -> dict:
+    dep, vds = _deployment_and_vds()
+    fidelity = FidelityController(
+        calibration_ns=8 * MS, slo_window_ns=100 * MS, recal_ns=2 * MS
+    )
+    run = HybridRun(dep, fidelity=fidelity)
+    for i, vd in enumerate(vds):
+        run.add_flow(f"flow{i}", vd, LOAD_IOPS_PER_HOST)
+    wall = time.perf_counter()
+    result = run.run(HORIZON_NS)
+    wall = time.perf_counter() - wall
+    return {
+        "mode": "hybrid",
+        "wall_s": round(wall, 4),
+        "events": result.events_processed,
+        "ios": len(dep.collector.traces),
+        "detailed_ios": result.detailed_ios,
+        "synthesized_ios": result.synthesized_ios,
+        "detail_fraction": round(result.detail_fraction, 4),
+        "summary": _summarize(dep),
+    }
+
+
+def run_comparison() -> str:
+    detailed = run_detailed()
+    hybrid = run_hybrid()
+
+    rows = []
+    for kind in ("read", "write"):
+        d, h = detailed["summary"][kind], hybrid["summary"][kind]
+        assert d["n"] > 500 and h["n"] > 500, (kind, d["n"], h["n"])
+        for metric, tol in (("p50_us", TOL_P50), ("p95_us", TOL_P95)):
+            err = abs(h[metric] - d[metric]) / d[metric]
+            rows.append([
+                f"4KB {kind} {metric[:-3]}", f"{d[metric]:.1f}",
+                f"{h[metric]:.1f}", f"{(h[metric] - d[metric]) / d[metric]:+.1%}",
+            ])
+            assert err < tol, (kind, metric, d[metric], h[metric], err)
+        for c in COMPONENTS:
+            key = f"{c}_p50_us"
+            rows.append([
+                f"4KB {kind} {c.upper()} p50", f"{d[key]:.1f}",
+                f"{h[key]:.1f}",
+                f"{(h[key] - d[key]) / d[key]:+.1%}" if d[key] else "n/a",
+            ])
+            if d[key] >= 1.0:  # sub-us components are noise-dominated
+                err = abs(h[key] - d[key]) / d[key]
+                assert err < TOL_COMPONENT_P50, (kind, c, d[key], h[key], err)
+
+    event_ratio = detailed["events"] / max(1, hybrid["events"])
+    wall_ratio = detailed["wall_s"] / max(1e-9, hybrid["wall_s"])
+    assert event_ratio >= 20, f"hybrid only {event_ratio:.1f}x fewer events"
+    assert wall_ratio >= 20, f"hybrid only {wall_ratio:.1f}x faster"
+
+    payload = {
+        "workload": {
+            "shape": "fig6 production mix",
+            "horizon_ns": HORIZON_NS,
+            "iops_per_host": LOAD_IOPS_PER_HOST,
+            "seed": SEED,
+        },
+        "tolerance": {
+            "total_p50": TOL_P50, "total_p95": TOL_P95,
+            "component_p50": TOL_COMPONENT_P50,
+        },
+        "detailed": detailed,
+        "hybrid": hybrid,
+        "event_ratio": round(event_ratio, 1),
+        "wall_ratio": round(wall_ratio, 1),
+    }
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, "BENCH_hybrid.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    table = format_table(["metric", "detailed", "hybrid", "error"], rows)
+    footer = format_table(
+        ["cost", "detailed", "hybrid", "ratio"],
+        [
+            ["events", detailed["events"], hybrid["events"], f"{event_ratio:.1f}x"],
+            ["wall (s)", detailed["wall_s"], hybrid["wall_s"], f"{wall_ratio:.1f}x"],
+            ["ios", detailed["ios"], hybrid["ios"],
+             f"detail {hybrid['detail_fraction']:.1%}"],
+        ],
+    )
+    return (
+        "Hybrid fidelity vs detailed (fig6 workload, 400ms horizon):\n"
+        + table + "\n" + footer
+    )
+
+
+def test_hybrid_fidelity(benchmark):
+    text = once(benchmark, run_comparison)
+    print("\n" + text)
+    save_output("hybrid_fidelity", text)

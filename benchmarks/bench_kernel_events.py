@@ -5,12 +5,25 @@ so optimization PRs have nothing to demonstrate a win against.  This
 bench runs one fixed, deterministic workload — a SOLAR deployment under
 closed-loop fio for 200 simulated milliseconds — and records how fast the
 event kernel chewed through it: total events, wall-clock seconds, and
-events per wall-second.  The numbers land in ``BENCH_kernel.json`` next
-to the other artifacts, so the trajectory across PRs is a one-file diff.
+events per wall-second.  The numbers land in two places:
+
+* ``out/BENCH_kernel.json`` — the latest run (untracked scratch);
+* ``BENCH_kernel_history.jsonl`` — the committed trajectory, one JSON
+  line appended per official run, never overwritten.  This is what
+  ``check_kernel_regression.py`` (and the CI smoke step) compares fresh
+  runs against: a >20% events/sec drop versus the last committed entry
+  fails the build.
 
 The *simulated* side is asserted exactly (event count and completed I/Os
 are pure functions of the workload); the *wall-clock* side is recorded,
 not asserted — machine speed is not a correctness property.
+
+To profile the kernel on this exact workload, run this file as a script
+under cProfile (see :func:`common.profile_once` for the in-process
+variant)::
+
+    cd benchmarks && PYTHONPATH=../src:. \
+        python -m cProfile -s cumtime bench_kernel_events.py | head -40
 """
 
 from __future__ import annotations
@@ -30,6 +43,11 @@ from repro.workloads import FioJob, FioSpec
 WORKLOAD_VERSION = 1
 RUNTIME_NS = 200 * MS
 SEED = 42
+
+#: Committed events/sec trajectory (append-mode: one JSON line per run).
+HISTORY_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_kernel_history.jsonl"
+)
 
 
 def run_reference_workload() -> dict:
@@ -82,6 +100,8 @@ def run_baseline() -> str:
     with open(path, "w") as handle:
         json.dump(result, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    with open(HISTORY_PATH, "a") as handle:
+        handle.write(json.dumps(result, sort_keys=True) + "\n")
 
     table = format_table(
         ["metric", "value"],
@@ -104,3 +124,9 @@ def test_kernel_events(benchmark):
     text = once(benchmark, run_baseline)
     print("\n" + text)
     save_output("kernel_events", text)
+
+
+if __name__ == "__main__":
+    # Script entry so `python -m cProfile -s cumtime bench_kernel_events.py`
+    # profiles exactly the reference workload (no pytest frames on top).
+    print(json.dumps(run_reference_workload(), indent=2, sort_keys=True))

@@ -1,0 +1,112 @@
+"""Kernel-bench regression smoke: fail on a >20% events/sec drop.
+
+Runs the fixed reference workload from ``bench_kernel_events.py`` once
+and compares it against the last committed entry (same workload version)
+of ``BENCH_kernel_history.jsonl`` — the append-mode events/sec
+trajectory that every official bench run extends.  Two checks:
+
+* **determinism** — ``events`` and ``ios_completed`` are pure functions
+  of the workload, so they must match the committed entry *exactly*; a
+  drift means the workload changed and ``WORKLOAD_VERSION`` must bump;
+* **throughput** — fresh ``events_per_sec`` must be within
+  ``REPRO_BENCH_TOLERANCE`` (default 0.20) of the committed value.
+  Wall-clock comparisons are only meaningful on comparable machines;
+  on a much slower box, raise the tolerance or re-baseline with
+  ``--update`` (which appends a fresh entry for committing).
+
+CI wires this as the kernel-bench smoke step::
+
+    cd benchmarks && PYTHONPATH=../src:. python check_kernel_regression.py
+
+Exit status 0 on pass, 1 on regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from bench_kernel_events import HISTORY_PATH, WORKLOAD_VERSION, run_reference_workload
+
+DEFAULT_TOLERANCE = 0.20
+
+
+def load_baseline(history_path: str = HISTORY_PATH) -> dict:
+    """Latest committed trajectory entry for the current workload version."""
+    if not os.path.exists(history_path):
+        raise SystemExit(
+            f"no committed trajectory at {history_path} — run "
+            "bench_kernel_events.py and commit BENCH_kernel_history.jsonl"
+        )
+    entries = []
+    with open(history_path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    entries = [e for e in entries if e.get("workload_version") == WORKLOAD_VERSION]
+    if not entries:
+        raise SystemExit(
+            f"no trajectory entry for workload v{WORKLOAD_VERSION} in "
+            f"{history_path} — re-baseline with --update"
+        )
+    return entries[-1]
+
+
+def check(update: bool = False, tolerance: float | None = None) -> int:
+    if tolerance is None:
+        tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE))
+    baseline = load_baseline()
+    fresh = run_reference_workload()
+
+    failures = []
+    for key in ("events", "ios_completed"):
+        if fresh[key] != baseline[key]:
+            failures.append(
+                f"deterministic field {key!r} drifted: committed "
+                f"{baseline[key]}, fresh {fresh[key]} — the reference "
+                "workload changed; bump WORKLOAD_VERSION and re-baseline"
+            )
+    floor = baseline["events_per_sec"] * (1.0 - tolerance)
+    if fresh["events_per_sec"] < floor:
+        failures.append(
+            f"events/sec regressed >{tolerance:.0%}: committed "
+            f"{baseline['events_per_sec']:,.0f}, fresh "
+            f"{fresh['events_per_sec']:,.0f} (floor {floor:,.0f})"
+        )
+
+    print(
+        f"kernel bench: committed {baseline['events_per_sec']:,.0f} ev/s, "
+        f"fresh {fresh['events_per_sec']:,.0f} ev/s "
+        f"({fresh['events_per_sec'] / baseline['events_per_sec']:.2f}x, "
+        f"tolerance {tolerance:.0%})"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+
+    if update and not failures:
+        with open(HISTORY_PATH, "a") as handle:
+            handle.write(json.dumps(fresh, sort_keys=True) + "\n")
+        print(f"appended fresh entry to {os.path.basename(HISTORY_PATH)}")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="append the fresh result to the committed trajectory",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help=f"allowed events/sec drop (default {DEFAULT_TOLERANCE}, "
+        "or REPRO_BENCH_TOLERANCE)",
+    )
+    opts = parser.parse_args(argv)
+    return check(update=opts.update, tolerance=opts.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

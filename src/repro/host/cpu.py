@@ -13,14 +13,19 @@ dispatch (the kernel stack's softirq steering approximation).
 from __future__ import annotations
 
 import zlib
-from typing import Any, Callable, List, Optional
+from operator import attrgetter
+from typing import Any, Callable, Dict, List, Optional
 
 from ..sim.engine import Simulator
 from ..sim.events import Signal
 
+_busy_until = attrgetter("busy_until")
+
 
 class CpuCore:
     """A single core: serial FIFO execution with utilization accounting."""
+
+    __slots__ = ("sim", "name", "ghz", "busy_until", "busy_ns_total", "jobs_run")
 
     def __init__(self, sim: Simulator, name: str, ghz: float = 2.1):
         self.sim = sim
@@ -47,7 +52,7 @@ class CpuCore:
         self.busy_ns_total += cost_ns
         self.jobs_run += 1
         if callback is not None:
-            self.sim.schedule_at(done, callback, *args)
+            self.sim.schedule_at_fire(done, callback, *args)
         return done
 
     def submit_signal(self, cost_ns: int, name: str = "cpu-done") -> Signal:
@@ -83,6 +88,7 @@ class CpuComplex:
         self.cores: List[CpuCore] = [
             CpuCore(sim, f"{name}/c{i}", ghz) for i in range(cores)
         ]
+        self._pin_cache: Dict[str, CpuCore] = {}
 
     def pinned(self, key: str) -> CpuCore:
         """Share-nothing dispatch: a stable key always lands on one core.
@@ -90,12 +96,17 @@ class CpuComplex:
         Uses crc32 rather than builtin ``hash`` — string hashing is salted
         per process (PYTHONHASHSEED), which would make core collisions, and
         therefore simulated timings, vary between interpreter invocations.
+        The mapping is memoized (it is hit once per chunk per connection).
         """
-        return self.cores[zlib.crc32(key.encode()) % len(self.cores)]
+        core = self._pin_cache.get(key)
+        if core is None:
+            core = self.cores[zlib.crc32(key.encode()) % len(self.cores)]
+            self._pin_cache[key] = core
+        return core
 
     def least_loaded(self) -> CpuCore:
         """Pick the core that would start new work soonest."""
-        return min(self.cores, key=lambda c: c.busy_until)
+        return min(self.cores, key=_busy_until)
 
     def total_busy_ns(self) -> int:
         return sum(core.busy_ns_total for core in self.cores)

@@ -10,6 +10,7 @@ SOLAR can steer traffic just by changing the UDP source port (§4.5).
 from __future__ import annotations
 
 import zlib
+from functools import lru_cache
 from typing import Sequence, TypeVar
 
 from .packet import FiveTuple
@@ -17,8 +18,13 @@ from .packet import FiveTuple
 T = TypeVar("T")
 
 
+@lru_cache(maxsize=65536)
 def flow_hash(flow: FiveTuple, salt: str = "") -> int:
-    """Deterministic 32-bit hash of a 5-tuple (+ optional per-switch salt)."""
+    """Deterministic 32-bit hash of a 5-tuple (+ optional per-switch salt).
+
+    Memoized: a closed-loop workload revisits the same few thousand
+    (flow, salt) pairs once per packet per hop.
+    """
     src, dst, sport, dport, proto = flow
     key = f"{salt}|{src}|{dst}|{sport}|{dport}|{proto}".encode("utf-8")
     return zlib.crc32(key) & 0xFFFFFFFF

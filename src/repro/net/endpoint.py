@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..sim.engine import Simulator
 from .ecmp import pick
-from .link import Channel
+from .link import LINK_STATE_EPOCH, Channel
 from .packet import Packet
 
 PacketHandler = Callable[[Packet], None]
@@ -27,6 +27,8 @@ class Endpoint:
         self.sim = sim
         self.name = name
         self.uplinks: List[Channel] = []
+        self._live_epoch = -1
+        self._live_uplinks: List[Channel] = []
         self._handlers: Dict[str, PacketHandler] = {}
         self._default_handler: Optional[PacketHandler] = None
         self.tx_packets = 0
@@ -38,6 +40,7 @@ class Endpoint:
     # ------------------------------------------------------------------
     def add_uplink(self, channel: Channel) -> None:
         self.uplinks.append(channel)
+        LINK_STATE_EPOCH[0] += 1
 
     def on_proto(self, proto: str, handler: PacketHandler) -> None:
         """Register a handler for packets of a given ``proto``."""
@@ -49,7 +52,11 @@ class Endpoint:
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> bool:
         """Emit a packet through one healthy uplink (flow-hashed)."""
-        live = [ch for ch in self.uplinks if ch.up]
+        epoch = LINK_STATE_EPOCH[0]
+        if epoch != self._live_epoch:
+            self._live_uplinks = [ch for ch in self.uplinks if ch.up]
+            self._live_epoch = epoch
+        live = self._live_uplinks
         if not live:
             self.tx_dropped += 1
             return False

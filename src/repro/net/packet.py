@@ -25,7 +25,7 @@ _packet_ids = itertools.count(1)
 FiveTuple = Tuple[str, str, int, int, str]
 
 
-@dataclass
+@dataclass(slots=True)
 class IntRecord:
     """One switch's in-band telemetry stamp (HPCC-style, §4.8)."""
 
@@ -45,9 +45,14 @@ class IntRecord:
         return min(1.0, self.tx_bytes / capacity_bytes)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """A self-describing simulated packet."""
+    """A self-describing simulated packet.
+
+    Slotted: the simulator creates one of these per message per hop, so
+    the per-instance ``__dict__`` was measurable in both memory and
+    attribute-access time.  Free-form bookkeeping belongs in ``meta``.
+    """
 
     src: str
     dst: str

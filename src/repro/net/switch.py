@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional
 from ..profiles import NetworkProfile
 from ..sim.engine import Simulator
 from .ecmp import flow_hash, pick
-from .link import Channel
+from .link import LINK_STATE_EPOCH, Channel
 from .packet import IntRecord, Packet
 
 
@@ -48,6 +48,10 @@ class Switch:
         self.blackhole_salt = ""
         self.drop_rate = 0.0
         self._drop_rng = sim.rng.stream(f"switch/{name}/drop")
+        #: dst -> (epoch, up-filtered candidate names); rebuilt when any
+        #: link state changes.  Routing is a pure function of (switch,
+        #: dst, link state), so this is exact, not approximate.
+        self._route_cache: Dict[str, tuple] = {}
         self.rx_packets = 0
         self.forwarded = 0
         self.dropped_no_route = 0
@@ -60,9 +64,17 @@ class Switch:
     # ------------------------------------------------------------------
     def connect(self, neighbor_name: str, egress: Channel) -> None:
         self.ports[neighbor_name] = egress
+        LINK_STATE_EPOCH[0] += 1
 
     def set_route_fn(self, fn: Callable[["Switch", Packet], List[str]]) -> None:
+        """Install the routing function.
+
+        ``fn`` must depend only on the switch, ``packet.dst``, and
+        current link state — its results are cached per destination and
+        invalidated on link-state changes (see ``_route_cache``).
+        """
         self._next_hops = fn
+        self._route_cache.clear()
 
     # ------------------------------------------------------------------
     # Failure controls
@@ -113,19 +125,25 @@ class Switch:
             self.dropped_ttl += 1
             return
         packet.ttl -= 1
-        self.sim.schedule(self.profile.switch_forward_ns, self._forward, packet)
+        self.sim.schedule_fire(self.profile.switch_forward_ns, self._forward, packet)
 
     def _forward(self, packet: Packet) -> None:
         if not self.up:
             self.dropped_down += 1
             return
-        if self._next_hops is None:
-            raise RuntimeError(f"switch {self.name} has no routing function")
-        candidates = [
-            name
-            for name in self._next_hops(self, packet)
-            if name in self.ports and self.ports[name].up
-        ]
+        epoch = LINK_STATE_EPOCH[0]
+        cached = self._route_cache.get(packet.dst)
+        if cached is not None and cached[0] == epoch:
+            candidates = cached[1]
+        else:
+            if self._next_hops is None:
+                raise RuntimeError(f"switch {self.name} has no routing function")
+            candidates = [
+                name
+                for name in self._next_hops(self, packet)
+                if name in self.ports and self.ports[name].up
+            ]
+            self._route_cache[packet.dst] = (epoch, candidates)
         if not candidates:
             self.dropped_no_route += 1
             return

@@ -25,6 +25,7 @@ Citations refer to "From Luna to Solar" (SIGCOMM '22):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Dict
 
 from .sim.events import MS
@@ -312,8 +313,14 @@ class Profiles:
 DEFAULT = Profiles()
 
 
+@lru_cache(maxsize=None)
 def bytes_time_ns(size_bytes: int, gbps: float) -> int:
-    """Wire/serialization time for ``size_bytes`` at ``gbps`` (integer ns)."""
+    """Wire/serialization time for ``size_bytes`` at ``gbps`` (integer ns).
+
+    Memoized: a simulation draws sizes from a handful of message shapes
+    and rates from the profile tables, so the domain is tiny while the
+    call count is one-per-packet-per-hop.
+    """
     if gbps <= 0:
         raise ValueError(f"non-positive bandwidth: {gbps}")
     return int(round(size_bytes * 8 / (gbps * GBPS) * 1e9))

@@ -1,18 +1,28 @@
 """The discrete-event simulation engine.
 
-A :class:`Simulator` owns the virtual clock and the event heap.  Everything
-in the reproduction — links, switches, CPUs, SSDs, protocol stacks — is
-driven by callbacks scheduled on a single simulator instance, so a whole
-EBS deployment runs deterministically from one seed.
+A :class:`Simulator` owns the virtual clock and the event scheduler.
+Everything in the reproduction — links, switches, CPUs, SSDs, protocol
+stacks — is driven by callbacks scheduled on a single simulator instance,
+so a whole EBS deployment runs deterministically from one seed.
+
+The scheduler is pluggable (see :mod:`repro.sim.sched`): a calendar
+queue by default, a plain binary heap as the reference implementation.
+Both deliver events in identical ``(time, seq)`` order, so the choice is
+a pure throughput knob — artifacts are byte-identical either way.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
 from typing import Any, Callable, Optional
 
 from .events import Event, format_ns
 from .rng import RngRegistry
+from .sched import make_scheduler
+
+#: Environment override for the scheduler implementation (experiments /
+#: cross-implementation determinism checks): ``REPRO_SCHEDULER=heap``.
+SCHEDULER_ENV = "REPRO_SCHEDULER"
 
 
 class SimulationError(RuntimeError):
@@ -33,14 +43,26 @@ class Simulator:
     randomness from independent, reproducible streams.
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, scheduler: Optional[str] = None):
         self.now: int = 0
         self.seed = seed
         self.rng = RngRegistry(seed)
-        self._heap: list[Event] = []
+        if scheduler is None:
+            scheduler = os.environ.get(SCHEDULER_ENV, "calendar")
+        self.scheduler_name = scheduler
+        self._sched = make_scheduler(scheduler)
+        # Pre-bound push methods: schedule() runs a few hundred thousand
+        # times per simulated second, so one attribute chain matters.
+        self._push = self._sched.push
+        self._push_fire = self._sched.push_fire
         self._seq = 0
         self._running = False
         self._stopped = False
+        #: Logical events processed.  Coalesced fast paths (e.g. a link's
+        #: combined serialize+deliver completion, see ``repro.net.link``)
+        #: credit the events they fold in via :meth:`credit_events`, so
+        #: this counter — and every artifact embedding it — is invariant
+        #: across fast-path and legacy event plumbing.
         self.events_processed = 0
 
     # ------------------------------------------------------------------
@@ -51,7 +73,10 @@ class Simulator:
         delay_ns = int(delay_ns)
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
-        return self.schedule_at(self.now + delay_ns, fn, *args)
+        event = Event(self.now + delay_ns, self._seq, fn, args)
+        self._seq += 1
+        self._push(event)
+        return event
 
     def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute simulation time."""
@@ -62,52 +87,86 @@ class Simulator:
             )
         event = Event(time_ns, self._seq, fn, args)
         self._seq += 1
-        heapq.heappush(self._heap, event)
+        self._push(event)
         return event
+
+    def schedule_fire(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Like :meth:`schedule`, but fire-and-forget: no :class:`Event`
+        is allocated and nothing is returned, so the timer cannot be
+        cancelled.  Use for the per-packet/per-job completions that are
+        never cancelled — the Event allocation is the largest per-event
+        constant on the hot path.  Ordering is identical to
+        :meth:`schedule` (same ``seq`` allocation)."""
+        delay_ns = int(delay_ns)
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
+        self._push_fire(self.now + delay_ns, self._seq, fn, args)
+        self._seq += 1
+
+    def schedule_at_fire(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> None:
+        """Absolute-time variant of :meth:`schedule_fire`."""
+        time_ns = int(time_ns)
+        if time_ns < self.now:
+            raise SimulationError(
+                f"cannot schedule at {format_ns(time_ns)}; now is {format_ns(self.now)}"
+            )
+        self._push_fire(time_ns, self._seq, fn, args)
+        self._seq += 1
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at the current instant (after pending events)."""
-        return self.schedule(0, fn, *args)
+        event = Event(self.now, self._seq, fn, args)
+        self._seq += 1
+        self._push(event)
+        return event
+
+    def credit_events(self, count: int = 1) -> None:
+        """Account for logical events folded into a coalesced callback.
+
+        Fast paths that replace N legacy events with one physical event
+        call this with ``N - 1`` so ``events_processed`` stays identical
+        to the uncoalesced execution (artifacts embed the counter).
+        """
+        self.events_processed += count
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Run the single next pending event.  Returns False when drained."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if event.time < self.now:  # pragma: no cover - defensive
-                raise SimulationError("event heap yielded an event from the past")
-            self.now = event.time
-            self.events_processed += 1
-            event.fn(*event.args)
-            return True
-        return False
+        event = self._sched.pop()
+        if event is None:
+            return False
+        if event.time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("scheduler yielded an event from the past")
+        self.now = event.time
+        self.events_processed += 1
+        event.fn(*event.args)
+        return True
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
-        """Run events until the heap drains, ``until`` is reached, or
+        """Run events until the scheduler drains, ``until`` is reached, or
         ``max_events`` have fired.
 
         ``until`` is an absolute time; the clock is advanced to ``until``
         even if the last event fires earlier (matching how a wall-clock
         experiment of fixed duration behaves).  Returns the number of
-        events processed by this call.
+        events processed by this call (physical events — coalesced
+        credits count only toward :attr:`events_processed`).
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stopped = False
-        processed = 0
+        # The loop itself lives in the scheduler (``drain``) so popping
+        # needs no method dispatch per event.  Its ``until`` check reads
+        # the *raw* head (ghosts included): a cancelled timer at the
+        # head must not end a bounded run early, and conversely a live
+        # event past ``until`` still fires when a ghost at or before
+        # ``until`` heads the queue.  Both match the original
+        # single-heap engine, which compared the raw heap head.
         try:
-            while self._heap and not self._stopped:
-                if until is not None and self._heap[0].time > until:
-                    break
-                if max_events is not None and processed >= max_events:
-                    break
-                if self.step():
-                    processed += 1
+            processed = self._sched.drain(self, until, max_events)
         finally:
             self._running = False
         if until is not None and not self._stopped and self.now < until:
@@ -127,18 +186,15 @@ class Simulator:
     # ------------------------------------------------------------------
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still in the heap."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-cancelled events still scheduled (O(1))."""
+        return self._sched.live
 
     def peek_time(self) -> Optional[int]:
         """Absolute time of the next pending event, or None if drained."""
-        for event in sorted(self._heap):
-            if not event.cancelled:
-                return event.time
-        return None
+        return self._sched.peek_time()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Simulator now={format_ns(self.now)} pending={self.pending_events} "
-            f"processed={self.events_processed}>"
+            f"processed={self.events_processed} sched={self.scheduler_name}>"
         )

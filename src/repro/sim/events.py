@@ -34,11 +34,13 @@ class Event:
 
     Events are created by :meth:`repro.sim.engine.Simulator.schedule` and
     should not be instantiated directly.  An event may be cancelled before
-    it fires; cancelled events stay in the heap but are skipped when popped
-    (lazy deletion), which keeps cancellation O(1).
+    it fires; cancelled events stay in the scheduler but are skipped when
+    popped (lazy deletion), which keeps cancellation O(1).  The scheduler
+    keeps live/ghost counters (via ``_sched``) so cancel-heavy workloads
+    trigger compaction instead of growing the structure without bound.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sched")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -46,10 +48,16 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sched = None
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sched = self._sched
+            if sched is not None:
+                self._sched = None
+                sched.note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:

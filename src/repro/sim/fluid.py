@@ -1,0 +1,453 @@
+"""Hybrid-fidelity simulation: fluid flows with detail windows.
+
+The packet-level simulator is exact but pays one event per packet per
+hop — fine for 30 ms of two hosts, prohibitive for fleet-scale horizons
+(ROADMAP item 1).  This module adds the SimBricks-style fidelity split:
+**steady-state flows become analytic rate aggregates** (a
+:class:`FluidFlow` synthesizes I/O completions by sampling a calibrated
+latency distribution, costing zero simulator events), while the
+simulation **drops to per-I/O detail** around the intervals where
+transient behaviour actually matters — faults, upgrades, rebuilds, and
+SLO-window boundaries (periodic recalibration).
+
+The pieces:
+
+* :class:`FidelityController` — owns the detail/fluid timeline: a warmup
+  calibration window, periodic recalibration windows at SLO boundaries,
+  and guard windows requested around injected events
+  (:meth:`FidelityController.request_detail` / :meth:`around`).
+* :class:`LatencyReservoir` — per ``(kind, size)`` reservoir of detailed
+  I/O outcomes (total latency + SA/FN/BN/SSD component breakdown),
+  filled during detail segments, sampled during fluid segments.
+* :class:`FluidFlow` — the analytic aggregate of one open-loop
+  production flow: Poisson arrivals at a target rate with the production
+  size/kind mix, each completion drawn from the reservoir.
+* :class:`HybridRun` — drives one deployment through the segment
+  timeline: real :class:`~repro.workloads.production.ProductionWorkload`
+  load inside detail segments (traces feed the reservoir), fluid
+  synthesis across everything else.
+
+Fidelity contract: fluid-mode latency summaries must match detailed mode
+within tolerance (pinned by ``tests/test_fluid.py`` and
+``benchmarks/bench_hybrid_fidelity.py``: p50 within 10%, p95 within 20%
+on the Figure 6 component breakdowns), and everything synthesized is
+flagged (``synthetic`` mark) so downstream analysis can tell the modes
+apart.  Determinism is preserved: synthesis draws from named RNG streams
+of the same simulator, so a fixed seed yields byte-identical hybrid
+artifacts.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..metrics.trace import COMPONENTS, IoTrace
+from .engine import Simulator
+
+MS = 1_000_000
+
+#: Default guard added on both sides of a requested detail event.
+DEFAULT_GUARD_NS = 2 * MS
+
+
+@dataclass(frozen=True)
+class DetailWindow:
+    """One interval that must run at per-I/O fidelity."""
+
+    start_ns: int
+    end_ns: int
+    reason: str = "detail"
+
+    def __post_init__(self) -> None:
+        if self.end_ns <= self.start_ns:
+            raise ValueError(f"empty detail window [{self.start_ns}, {self.end_ns})")
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One piece of the hybrid timeline."""
+
+    start_ns: int
+    end_ns: int
+    mode: str  # "detail" | "fluid"
+    reason: str = ""
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+
+class FidelityController:
+    """Decides where the detailed/fluid boundary lies on the timeline.
+
+    Three sources of detail windows:
+
+    * **calibration** — ``[0, calibration_ns)`` always runs detailed, so
+      the latency reservoir is populated before any fluid synthesis;
+    * **SLO boundaries** — every ``slo_window_ns`` a recalibration
+      window of ``recal_ns`` runs detailed, so slow drift (diurnal load,
+      creeping congestion) is re-measured at each reporting boundary;
+    * **requested** — faults, upgrades, and rebuilds register guard
+      windows via :meth:`request_detail`/:meth:`around`; transients
+      around those instants are simulated exactly, never synthesized.
+    """
+
+    def __init__(
+        self,
+        calibration_ns: int = 8 * MS,
+        slo_window_ns: Optional[int] = 100 * MS,
+        recal_ns: int = 2 * MS,
+        guard_ns: int = DEFAULT_GUARD_NS,
+    ):
+        if calibration_ns <= 0:
+            raise ValueError("calibration window must be positive")
+        if slo_window_ns is not None and slo_window_ns <= recal_ns:
+            raise ValueError("SLO window must exceed the recalibration window")
+        self.calibration_ns = calibration_ns
+        self.slo_window_ns = slo_window_ns
+        self.recal_ns = recal_ns
+        self.guard_ns = guard_ns
+        self._requested: List[DetailWindow] = []
+
+    # ------------------------------------------------------------------
+    def request_detail(self, start_ns: int, end_ns: int, reason: str = "requested") -> None:
+        """Force per-I/O fidelity across ``[start_ns, end_ns)``."""
+        insort(
+            self._requested,
+            DetailWindow(max(0, start_ns), end_ns, reason),
+            key=lambda w: w.start_ns,
+        )
+
+    def around(self, event_ns: int, reason: str = "event") -> None:
+        """Guard-window helper: detail around one injected instant."""
+        self.request_detail(event_ns - self.guard_ns, event_ns + self.guard_ns, reason)
+
+    # ------------------------------------------------------------------
+    def windows(self, horizon_ns: int) -> List[DetailWindow]:
+        """All detail windows over ``[0, horizon_ns)``, merged and sorted."""
+        raw: List[DetailWindow] = [
+            DetailWindow(0, min(self.calibration_ns, horizon_ns), "calibration")
+        ]
+        if self.slo_window_ns is not None:
+            boundary = self.slo_window_ns
+            while boundary < horizon_ns:
+                raw.append(
+                    DetailWindow(
+                        boundary, min(boundary + self.recal_ns, horizon_ns), "slo-recal"
+                    )
+                )
+                boundary += self.slo_window_ns
+        raw.extend(
+            DetailWindow(w.start_ns, min(w.end_ns, horizon_ns), w.reason)
+            for w in self._requested
+            if w.start_ns < horizon_ns
+        )
+        raw.sort(key=lambda w: (w.start_ns, w.end_ns))
+        merged: List[DetailWindow] = []
+        for w in raw:
+            if merged and w.start_ns <= merged[-1].end_ns:
+                last = merged[-1]
+                if w.end_ns > last.end_ns:
+                    reason = last.reason if last.reason == w.reason else f"{last.reason}+{w.reason}"
+                    merged[-1] = DetailWindow(last.start_ns, w.end_ns, reason)
+            else:
+                merged.append(w)
+        return merged
+
+    def segments(self, horizon_ns: int) -> List[Segment]:
+        """Partition ``[0, horizon_ns)`` into alternating segments."""
+        segments: List[Segment] = []
+        cursor = 0
+        for w in self.windows(horizon_ns):
+            if w.start_ns > cursor:
+                segments.append(Segment(cursor, w.start_ns, "fluid"))
+            segments.append(Segment(w.start_ns, w.end_ns, "detail", w.reason))
+            cursor = w.end_ns
+        if cursor < horizon_ns:
+            segments.append(Segment(cursor, horizon_ns, "fluid"))
+        return segments
+
+
+class LatencyReservoir:
+    """Per ``(kind, size)`` calibration samples of detailed I/O outcomes.
+
+    Samples are ``(total_ns, components)`` pairs captured from completed
+    :class:`IoTrace` objects during detail segments.  Fluid synthesis
+    draws uniformly from the class reservoir; a class never seen in
+    detail falls back to the nearest-size class of the same kind (size
+    scales latency smoothly — wire and SSD transfer time — so nearest
+    size is the least-wrong stand-in).
+
+    Recalibration is generational: each detail segment opens a new
+    generation (:meth:`new_generation`), and a class samples from the
+    *current* generation once it holds at least ``min_recent`` entries
+    there.  That lets fluid synthesis track slow drift — warmup
+    transients, diurnal load — instead of forever replaying the first
+    calibration window's distribution.  Thin classes (and the window
+    right after a sparse guard segment) keep the accumulated history.
+    """
+
+    def __init__(self, max_per_class: int = 4096, min_recent: int = 32):
+        self.max_per_class = max_per_class
+        self.min_recent = min_recent
+        self._classes: Dict[Tuple[str, int], List[Tuple[int, Tuple[int, ...]]]] = {}
+        self._recent: Dict[Tuple[str, int], List[Tuple[int, Tuple[int, ...]]]] = {}
+
+    def new_generation(self) -> None:
+        """Start a fresh recalibration generation (at a detail segment)."""
+        self._recent = {}
+
+    def add(self, trace: IoTrace) -> None:
+        if not trace.ok:
+            return  # failures are a detail-mode phenomenon; never replayed
+        key = (trace.kind, trace.size_bytes)
+        sample = (trace.total_ns, tuple(trace.components[c] for c in COMPONENTS))
+        samples = self._classes.setdefault(key, [])
+        if len(samples) < self.max_per_class:
+            samples.append(sample)
+        recent = self._recent.setdefault(key, [])
+        if len(recent) < self.max_per_class:
+            recent.append(sample)
+
+    def count(self, kind: str, size_bytes: int) -> int:
+        return len(self._classes.get((kind, size_bytes), ()))
+
+    def classes(self) -> List[Tuple[str, int]]:
+        return sorted(self._classes)
+
+    def _resolve(self, kind: str, size_bytes: int) -> List[Tuple[int, Tuple[int, ...]]]:
+        recent = self._recent.get((kind, size_bytes))
+        if recent and len(recent) >= self.min_recent:
+            return recent
+        samples = self._classes.get((kind, size_bytes))
+        if samples:
+            return samples
+        candidates = [
+            (abs(size - size_bytes), size)
+            for (k, size) in self._classes
+            if k == kind
+        ]
+        if not candidates:
+            raise LookupError(
+                f"no calibration samples for kind={kind!r} (reservoir empty)"
+            )
+        return self._classes[(kind, min(candidates)[1])]
+
+    def sample(self, kind: str, size_bytes: int, rng) -> Tuple[int, Tuple[int, ...]]:
+        samples = self._resolve(kind, size_bytes)
+        return samples[rng.randrange(len(samples))]
+
+
+class FluidFlow:
+    """Analytic aggregate of one steady open-loop production flow.
+
+    Mirrors :class:`~repro.workloads.production.ProductionWorkload`'s
+    arrival law (Poisson at ``target_iops``, production size/kind mix)
+    but synthesizes completions directly from the latency reservoir —
+    zero simulator events, zero packets.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        target_iops: float,
+        reservoir: LatencyReservoir,
+        sizes=None,
+        read_fraction: Optional[float] = None,
+    ):
+        if target_iops <= 0:
+            raise ValueError(f"target IOPS must be positive: {target_iops}")
+        from ..workloads.distributions import READ_FRACTION, SizeDistribution
+
+        self.sim = sim
+        self.name = name
+        self.target_iops = target_iops
+        self.reservoir = reservoir
+        self.sizes = sizes or SizeDistribution()
+        self.read_fraction = READ_FRACTION if read_fraction is None else read_fraction
+        self._rng = sim.rng.stream(f"fluid/{name}")
+        self.synthesized = 0
+
+    def synthesize(self, start_ns: int, end_ns: int, collector) -> int:
+        """Emit synthetic completions across ``[start_ns, end_ns)``.
+
+        Arrivals walk the same exponential-gap law as the detailed
+        workload; each I/O's latency and component breakdown are drawn
+        from the calibration reservoir.  Traces carry a ``synthetic``
+        mark so analysis can separate modes.  Returns the count.
+        """
+        rng = self._rng
+        expovariate = rng.expovariate
+        sample = self.reservoir.sample
+        count = 0
+        t = start_ns + int(expovariate(self.target_iops) * 1e9)
+        while t < end_ns:
+            size = self.sizes.sample(rng)
+            kind = "read" if rng.random() < self.read_fraction else "write"
+            total_ns, comps = sample(kind, size, rng)
+            trace = IoTrace(
+                # Negative ids flag synthetic traces; offsetting by the
+                # collector's length keeps them unique across flows.
+                io_id=-(len(collector.traces) + 1),
+                kind=kind,
+                size_bytes=size,
+                submit_ns=t,
+                components=dict(zip(COMPONENTS, comps)),
+            )
+            trace.mark("synthetic", t)
+            trace.complete(t + total_ns)
+            collector.record(trace)
+            count += 1
+            t += int(expovariate(self.target_iops) * 1e9)
+        self.synthesized += count
+        return count
+
+
+@dataclass
+class HybridResult:
+    """What a :class:`HybridRun` did, segment by segment."""
+
+    horizon_ns: int
+    segments: List[Segment]
+    detailed_ios: int
+    synthesized_ios: int
+    events_processed: int
+    detail_ns: int = 0
+    fluid_ns: int = 0
+    per_segment: List[Dict] = field(default_factory=list)
+
+    @property
+    def detail_fraction(self) -> float:
+        return self.detail_ns / max(1, self.horizon_ns)
+
+
+class HybridRun:
+    """Drive one deployment through the fidelity timeline.
+
+    ``flows`` maps a flow name to ``(vd, target_iops)``: inside detail
+    segments each flow runs as a real open-loop
+    :class:`~repro.workloads.production.ProductionWorkload` against its
+    VD (packets, CPU queueing, SSDs — everything); across fluid segments
+    each flow is a :class:`FluidFlow` synthesizing from the reservoir
+    that those detail segments calibrated.
+    """
+
+    def __init__(
+        self,
+        deployment,
+        fidelity: Optional[FidelityController] = None,
+        read_fraction: Optional[float] = None,
+        sizes=None,
+    ):
+        from ..workloads.distributions import READ_FRACTION
+
+        self.deployment = deployment
+        self.sim: Simulator = deployment.sim
+        self.fidelity = fidelity or FidelityController()
+        self.reservoir = LatencyReservoir()
+        self.read_fraction = READ_FRACTION if read_fraction is None else read_fraction
+        self.sizes = sizes
+        self._flows: List[Tuple[str, object, float]] = []  # (name, vd, iops)
+        self._fluid: Dict[str, FluidFlow] = {}
+
+    def add_flow(self, name: str, vd, target_iops: float) -> None:
+        self._flows.append((name, vd, target_iops))
+        self._fluid[name] = FluidFlow(
+            self.sim,
+            name,
+            target_iops,
+            self.reservoir,
+            sizes=self.sizes,
+            read_fraction=self.read_fraction,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_detail_segment(self, segment: Segment) -> Dict:
+        from ..workloads.production import ProductionWorkload
+
+        collector = self.deployment.collector
+        mark = len(collector.traces)
+        workloads = []
+        for name, vd, iops in self._flows:
+            wl = ProductionWorkload(
+                self.sim,
+                vd,
+                iops,
+                segment.duration_ns,
+                sizes=self.sizes,
+                read_fraction=self.read_fraction,
+                name=f"hybrid/{name}/{segment.start_ns}",
+            )
+            wl.start()
+            workloads.append(wl)
+        self.sim.run(until=segment.end_ns)
+        # Each detail segment recalibrates: fluid synthesis after this
+        # point should reflect the distribution measured *here*, not the
+        # first calibration window's (see LatencyReservoir generations).
+        self.reservoir.new_generation()
+        completed = 0
+        for trace in collector.traces[mark:]:
+            self.reservoir.add(trace)
+            completed += 1
+        return {
+            "mode": "detail",
+            "reason": segment.reason,
+            "start_ns": segment.start_ns,
+            "end_ns": segment.end_ns,
+            "ios": completed,
+            "failed": sum(w.failed for w in workloads),
+        }
+
+    def _run_fluid_segment(self, segment: Segment) -> Dict:
+        collector = self.deployment.collector
+        synthesized = 0
+        for name, _vd, _iops in self._flows:
+            synthesized += self._fluid[name].synthesize(
+                segment.start_ns, segment.end_ns, collector
+            )
+        # Advance the clock through the segment: background machinery
+        # (telemetry scrapes, probes) still runs, but no per-packet load.
+        self.sim.run(until=segment.end_ns)
+        return {
+            "mode": "fluid",
+            "reason": segment.reason,
+            "start_ns": segment.start_ns,
+            "end_ns": segment.end_ns,
+            "ios": synthesized,
+        }
+
+    def run(self, horizon_ns: int, drain_ns: int = 20 * MS) -> HybridResult:
+        """Run the hybrid timeline over ``[now, now + horizon_ns)``.
+
+        ``drain_ns`` gives the last detail segment's in-flight I/Os time
+        to complete (fluid synthesis needs no drain).
+        """
+        if self.sim.now != 0:
+            raise RuntimeError("HybridRun must drive the simulation from t=0")
+        if not self._flows:
+            raise RuntimeError("no flows added (add_flow)")
+        segments = self.fidelity.segments(horizon_ns)
+        result = HybridResult(
+            horizon_ns=horizon_ns,
+            segments=segments,
+            detailed_ios=0,
+            synthesized_ios=0,
+            events_processed=0,
+        )
+        for segment in segments:
+            if segment.mode == "detail":
+                info = self._run_detail_segment(segment)
+                result.detailed_ios += info["ios"]
+                result.detail_ns += segment.duration_ns
+            else:
+                info = self._run_fluid_segment(segment)
+                result.synthesized_ios += info["ios"]
+                result.fluid_ns += segment.duration_ns
+            result.per_segment.append(info)
+        if drain_ns:
+            self.sim.run(until=horizon_ns + drain_ns)
+        result.events_processed = self.sim.events_processed
+        return result

@@ -25,6 +25,7 @@ blocks' CRC values in software".
 
 from __future__ import annotations
 
+import zlib
 from typing import Iterable, List, Sequence
 
 _POLY = 0xEDB88320
@@ -44,17 +45,33 @@ def _build_table() -> List[int]:
 _TABLE = _build_table()
 
 
-def crc32_update(crc: int, data: bytes) -> int:
-    """Advance a raw (no init/xorout) CRC register over ``data``."""
+def crc32_update_reference(crc: int, data: bytes) -> int:
+    """Pure-Python table-driven register update.
+
+    Kept as the executable specification: ``crc32_update`` delegates to
+    ``zlib.crc32`` (same reflected polynomial, so the two are
+    bit-identical — pinned by ``tests/test_crc.py``), and this is what
+    it is checked against.
+    """
     crc &= _MASK
     for byte in data:
         crc = _TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
     return crc
 
 
+def crc32_update(crc: int, data: bytes) -> int:
+    """Advance a raw (no init/xorout) CRC register over ``data``.
+
+    ``zlib.crc32`` uses the same shift register but speaks the standard
+    (init/xorout 0xFFFFFFFF) form, so the raw register is carried across
+    the call by XOR-masking on the way in and out.
+    """
+    return zlib.crc32(data, (crc ^ _MASK) & _MASK) ^ _MASK
+
+
 def crc32(data: bytes, crc: int = 0) -> int:
     """Standard CRC-32 (zlib/PKZip semantics)."""
-    return crc32_update(crc ^ _MASK, data) ^ _MASK
+    return zlib.crc32(data, crc & _MASK)
 
 
 def crc32_raw(data: bytes) -> int:
@@ -68,9 +85,12 @@ def crc32_raw(data: bytes) -> int:
 
 def xor_bytes(a: bytes, b: bytes) -> bytes:
     """Bytewise XOR of two equal-length strings."""
-    if len(a) != len(b):
-        raise ValueError(f"xor_bytes length mismatch: {len(a)} vs {len(b)}")
-    return bytes(x ^ y for x, y in zip(a, b))
+    n = len(a)
+    if n != len(b):
+        raise ValueError(f"xor_bytes length mismatch: {n} vs {len(b)}")
+    return (
+        int.from_bytes(a, "little") ^ int.from_bytes(b, "little")
+    ).to_bytes(n, "little")
 
 
 def crc32_xor_identity_offset(length: int) -> int:
@@ -101,6 +121,34 @@ def _gf2_matrix_square(square: List[int], mat: Sequence[int]) -> None:
         square[n] = _gf2_matrix_times(mat, mat[n])
 
 
+#: Cached operators for appending ``2**k`` zero *bytes*, built lazily.
+#: Folding thousands of per-block CRCs used to rebuild these matrices on
+#: every call; they depend only on the polynomial, never on the data.
+_ZERO_BYTE_OPS: List[List[int]] = []
+
+
+def _zero_byte_op(k: int) -> List[int]:
+    ops = _ZERO_BYTE_OPS
+    if not ops:
+        # Operator for one zero bit: the CRC shift register step.
+        mat = [0] * 32
+        mat[0] = _POLY
+        row = 1
+        for n in range(1, 32):
+            mat[n] = row
+            row <<= 1
+        for _ in range(3):  # square thrice: 1 bit -> 8 bits = 1 byte
+            square = [0] * 32
+            _gf2_matrix_square(square, mat)
+            mat = square
+        ops.append(mat)
+    while len(ops) <= k:
+        square = [0] * 32
+        _gf2_matrix_square(square, ops[-1])
+        ops.append(square)
+    return ops[k]
+
+
 def crc32_combine(crc1: int, crc2: int, len2: int) -> int:
     """CRC of the concatenation A||B given crc32(A), crc32(B), len(B).
 
@@ -113,34 +161,14 @@ def crc32_combine(crc1: int, crc2: int, len2: int) -> int:
     if len2 == 0:
         return crc1 & _MASK
 
-    even = [0] * 32  # even-power-of-two zero operators
-    odd = [0] * 32  # odd-power operators
-
-    # Operator for one zero bit: the CRC shift register step.
-    odd[0] = _POLY
-    row = 1
-    for n in range(1, 32):
-        odd[n] = row
-        row <<= 1
-    _gf2_matrix_square(even, odd)  # two zero bits
-    _gf2_matrix_square(odd, even)  # four zero bits
-
     crc1 &= _MASK
     crc2 &= _MASK
-    length = len2
-    while True:
-        _gf2_matrix_square(even, odd)
-        if length & 1:
-            crc1 = _gf2_matrix_times(even, crc1)
-        length >>= 1
-        if length == 0:
-            break
-        _gf2_matrix_square(odd, even)
-        if length & 1:
-            crc1 = _gf2_matrix_times(odd, crc1)
-        length >>= 1
-        if length == 0:
-            break
+    k = 0
+    while len2:
+        if len2 & 1:
+            crc1 = _gf2_matrix_times(_zero_byte_op(k), crc1)
+        len2 >>= 1
+        k += 1
     return (crc1 ^ crc2) & _MASK
 
 

@@ -44,8 +44,11 @@ class BlockCipher:
         return bytes(out[:length])
 
     def encrypt(self, vd_id: str, lba: int, plaintext: bytes) -> bytes:
-        stream = self._keystream(vd_id, lba, len(plaintext))
-        return bytes(p ^ s for p, s in zip(plaintext, stream))
+        n = len(plaintext)
+        stream = self._keystream(vd_id, lba, n)
+        return (
+            int.from_bytes(plaintext, "little") ^ int.from_bytes(stream, "little")
+        ).to_bytes(n, "little")
 
     def decrypt(self, vd_id: str, lba: int, ciphertext: bytes) -> bytes:
         # XOR keystream is an involution.

@@ -62,7 +62,7 @@ class StreamConfig:
             raise ValueError(f"bad segmentation config: mss={self.mss}, tso={self.tso_bytes}")
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One direction's application message (request or response)."""
 
@@ -88,6 +88,11 @@ class Message:
 
 class _Side:
     """Per-direction sender state of one connection."""
+
+    __slots__ = (
+        "endpoint", "cpu", "transport", "queue", "current", "cwnd",
+        "ssthresh", "rto_ns", "rto_event", "dupacks", "recover_until",
+    )
 
     def __init__(self, endpoint: Endpoint, cpu: CpuComplex, transport: "StreamTransport"):
         self.endpoint = endpoint

@@ -12,6 +12,7 @@ from repro.storage.crc import (
     crc32_of_concat,
     crc32_raw,
     crc32_update,
+    crc32_update_reference,
     crc32_xor_identity_offset,
     xor_bytes,
 )
@@ -122,3 +123,11 @@ class TestUpdateRegister:
         assert crc32_update(init, data) == (
             crc32_update(init, bytes(len(data))) ^ crc32_update(0, data)
         )
+
+    @given(st.integers(0, 0xFFFFFFFF), st.binary(min_size=0, max_size=1024))
+    @settings(max_examples=80)
+    def test_zlib_delegate_matches_reference_register(self, init, data):
+        # The fast path carries the raw register through zlib.crc32; the
+        # table-driven loop is the executable spec it must match bit for
+        # bit, for every initial register value.
+        assert crc32_update(init, data) == crc32_update_reference(init, data)

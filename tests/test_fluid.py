@@ -1,0 +1,262 @@
+"""Hybrid-fidelity fluid mode (repro.sim.fluid).
+
+Pins the fidelity contract: fluid-mode latency summaries match detailed
+mode within tolerance, synthesis is deterministic and clearly flagged,
+detail windows cover faults and SLO boundaries, and the hybrid run is
+dramatically cheaper in simulator events.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.ebs import DeploymentSpec, EbsDeployment, VirtualDisk
+from repro.metrics.stats import percentile
+from repro.metrics.trace import COMPONENTS, IoTrace
+from repro.sim import MS, Simulator
+from repro.sim.fluid import (
+    FidelityController,
+    FluidFlow,
+    HybridRun,
+    LatencyReservoir,
+)
+from repro.workloads import ProductionWorkload
+
+SMALL = dict(
+    compute_racks=1,
+    compute_hosts_per_rack=1,
+    storage_racks=1,
+    storage_hosts_per_rack=4,
+)
+
+
+# ----------------------------------------------------------------------
+# FidelityController timeline
+# ----------------------------------------------------------------------
+class TestFidelityController:
+    def test_segments_partition_horizon(self):
+        fc = FidelityController(calibration_ns=8 * MS, slo_window_ns=40 * MS,
+                                recal_ns=2 * MS)
+        horizon = 100 * MS
+        segments = fc.segments(horizon)
+        assert segments[0].start_ns == 0
+        assert segments[-1].end_ns == horizon
+        for prev, nxt in zip(segments, segments[1:]):
+            assert prev.end_ns == nxt.start_ns
+        modes = [s.mode for s in segments]
+        # calibration, fluid, recal@40ms, fluid, recal@80ms, fluid
+        assert modes == ["detail", "fluid", "detail", "fluid", "detail", "fluid"]
+        assert segments[2].start_ns == 40 * MS
+        assert segments[2].reason == "slo-recal"
+
+    def test_requested_window_merges_with_neighbors(self):
+        fc = FidelityController(calibration_ns=5 * MS, slo_window_ns=None)
+        fc.request_detail(4 * MS, 9 * MS, "fault")
+        windows = fc.windows(50 * MS)
+        assert len(windows) == 1  # overlapped the calibration window
+        assert windows[0].start_ns == 0
+        assert windows[0].end_ns == 9 * MS
+
+    def test_around_applies_guard(self):
+        fc = FidelityController(calibration_ns=1 * MS, slo_window_ns=None,
+                                guard_ns=2 * MS)
+        fc.around(30 * MS, "link-flap")
+        windows = fc.windows(100 * MS)
+        assert (windows[1].start_ns, windows[1].end_ns) == (28 * MS, 32 * MS)
+        assert windows[1].reason == "link-flap"
+
+    def test_windows_clip_to_horizon(self):
+        fc = FidelityController(calibration_ns=5 * MS, slo_window_ns=20 * MS,
+                                recal_ns=2 * MS)
+        fc.request_detail(90 * MS, 120 * MS)
+        windows = fc.windows(100 * MS)
+        assert all(w.end_ns <= 100 * MS for w in windows)
+        assert windows[-1].start_ns == 90 * MS
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            FidelityController(calibration_ns=0)
+        with pytest.raises(ValueError):
+            FidelityController(slo_window_ns=MS, recal_ns=2 * MS)
+
+
+# ----------------------------------------------------------------------
+# LatencyReservoir
+# ----------------------------------------------------------------------
+def _trace(kind: str, size: int, total_ns: int, ok: bool = True) -> IoTrace:
+    t = IoTrace(io_id=1, kind=kind, size_bytes=size, submit_ns=0)
+    for c in COMPONENTS:
+        t.components[c] = total_ns // len(COMPONENTS)
+    t.complete(total_ns, ok=ok)
+    return t
+
+
+class TestLatencyReservoir:
+    def test_failed_traces_excluded(self):
+        r = LatencyReservoir()
+        r.add(_trace("read", 4096, 1000, ok=False))
+        assert r.count("read", 4096) == 0
+
+    def test_nearest_size_fallback(self):
+        r = LatencyReservoir()
+        r.add(_trace("write", 4096, 1000))
+        r.add(_trace("write", 65536, 9000))
+        sim = Simulator(seed=7)
+        rng = sim.rng.stream("t")
+        total, comps = r.sample("write", 8192, rng)
+        assert total == 1000  # 8K is nearer 4K than 64K
+        assert len(comps) == len(COMPONENTS)
+
+    def test_empty_kind_raises(self):
+        r = LatencyReservoir()
+        r.add(_trace("write", 4096, 1000))
+        sim = Simulator(seed=7)
+        with pytest.raises(LookupError):
+            r.sample("read", 4096, sim.rng.stream("t"))
+
+
+# ----------------------------------------------------------------------
+# FluidFlow synthesis
+# ----------------------------------------------------------------------
+class TestFluidFlow:
+    def test_rejects_nonpositive_iops(self):
+        sim = Simulator(seed=7)
+        with pytest.raises(ValueError):
+            FluidFlow(sim, "f", 0, LatencyReservoir())
+
+    def test_synthesize_rate_and_flagging(self):
+        from repro.metrics.trace import TraceCollector
+
+        reservoir = LatencyReservoir()
+        reservoir.add(_trace("read", 4096, 2000))
+        reservoir.add(_trace("write", 4096, 1000))
+        sim = Simulator(seed=7)
+        flow = FluidFlow(sim, "f", 50_000, reservoir)
+        collector = TraceCollector()
+        n = flow.synthesize(0, 10 * MS, collector)
+        # Poisson at 50K IOPS over 10ms -> ~500 arrivals.
+        assert n == len(collector.traces) == flow.synthesized
+        assert 350 < n < 650
+        assert all(t.io_id < 0 and "synthetic" in t.marks
+                   for t in collector.traces)
+        assert all(0 <= t.submit_ns < 10 * MS for t in collector.traces)
+        assert all(t.complete_ns > t.submit_ns for t in collector.traces)
+
+
+# ----------------------------------------------------------------------
+# Hybrid run: fidelity, determinism, cost
+# ----------------------------------------------------------------------
+HORIZON_NS = 60 * MS
+IOPS = 20_000
+
+
+def _detailed_run(seed: int):
+    dep = EbsDeployment(DeploymentSpec(stack="solar", seed=seed, **SMALL))
+    vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 256 * 1024 * 1024)
+    wl = ProductionWorkload(dep.sim, vd, IOPS, HORIZON_NS, name="hybrid/flow0/0")
+    wl.start()
+    dep.run(until_ns=HORIZON_NS + 20 * MS)
+    return dep
+
+
+def _hybrid_run(seed: int):
+    dep = EbsDeployment(DeploymentSpec(stack="solar", seed=seed, **SMALL))
+    vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 256 * 1024 * 1024)
+    fc = FidelityController(calibration_ns=8 * MS, slo_window_ns=25 * MS,
+                            recal_ns=2 * MS)
+    run = HybridRun(dep, fidelity=fc)
+    run.add_flow("flow0", vd, IOPS)
+    result = run.run(HORIZON_NS)
+    return dep, result
+
+
+class TestHybridFidelity:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        detailed = _detailed_run(seed=21)
+        hybrid, result = _hybrid_run(seed=21)
+        return detailed, hybrid, result
+
+    def test_latency_summary_within_tolerance(self, runs):
+        detailed, hybrid, _result = runs
+        for kind in ("read", "write"):
+            det = sorted(t.total_ns for t in detailed.collector.completed(kind))
+            hyb = sorted(t.total_ns for t in hybrid.collector.completed(kind))
+            assert len(det) > 100 and len(hyb) > 100
+            p50_det, p50_hyb = percentile(det, 50), percentile(hyb, 50)
+            p95_det, p95_hyb = percentile(det, 95), percentile(hyb, 95)
+            assert abs(p50_hyb - p50_det) / p50_det < 0.12, (kind, p50_det, p50_hyb)
+            assert abs(p95_hyb - p95_det) / p95_det < 0.25, (kind, p95_det, p95_hyb)
+
+    def test_component_breakdown_within_tolerance(self, runs):
+        detailed, hybrid, _result = runs
+        for c in COMPONENTS:
+            det = detailed.collector.component_percentile(c, 50, "write")
+            hyb = hybrid.collector.component_percentile(c, 50, "write")
+            if det > 1000:  # sub-us components are noise-dominated
+                assert abs(hyb - det) / det < 0.20, (c, det, hyb)
+
+    def test_hybrid_is_much_cheaper(self, runs):
+        detailed, hybrid, result = runs
+        # Detail fraction is 12ms of 60ms; events should shrink accordingly.
+        assert result.events_processed < detailed.sim.events_processed / 3
+        assert result.synthesized_ios > result.detailed_ios
+        assert result.detail_fraction == pytest.approx(12 / 60)
+
+    def test_synthetic_traces_flagged(self, runs):
+        _detailed, hybrid, _result = runs
+        synthetic = [t for t in hybrid.collector.traces if t.io_id < 0]
+        real = [t for t in hybrid.collector.traces if t.io_id > 0]
+        assert synthetic and real
+        assert all("synthetic" in t.marks for t in synthetic)
+        assert all("synthetic" not in t.marks for t in real)
+        # Synthetic completions only ever land in fluid segments.
+        fluid_spans = [(s.start_ns, s.end_ns) for s in _result.segments
+                       if s.mode == "fluid"]
+        assert all(
+            any(lo <= t.submit_ns < hi for lo, hi in fluid_spans)
+            for t in synthetic
+        )
+
+    def test_hybrid_deterministic(self):
+        def digest(seed):
+            dep, result = _hybrid_run(seed=seed)
+            # io_id is excluded: IoRequest ids come from a process-global
+            # counter, so they differ between runs in one process.
+            blob = repr([
+                (t.kind, t.size_bytes, t.submit_ns, t.complete_ns,
+                 tuple(sorted(t.components.items())))
+                for t in dep.collector.traces
+            ]).encode()
+            return hashlib.sha256(blob).hexdigest(), result.synthesized_ios
+
+        first = digest(33)
+        second = digest(33)
+        assert first == second
+
+    def test_detail_window_covers_fault(self):
+        dep = EbsDeployment(DeploymentSpec(stack="solar", seed=5, **SMALL))
+        vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 256 * 1024 * 1024)
+        fc = FidelityController(calibration_ns=5 * MS, slo_window_ns=None,
+                                guard_ns=2 * MS)
+        fc.around(20 * MS, "tor-reboot")
+        run = HybridRun(dep, fidelity=fc)
+        run.add_flow("flow0", vd, IOPS)
+        result = run.run(40 * MS)
+        detail = [s for s in result.segments if s.mode == "detail"]
+        assert any(s.start_ns <= 20 * MS < s.end_ns for s in detail)
+        fault_seg = next(s for s in detail if s.reason == "tor-reboot")
+        assert (fault_seg.start_ns, fault_seg.end_ns) == (18 * MS, 22 * MS)
+
+    def test_run_requires_flows_and_t0(self):
+        dep = EbsDeployment(DeploymentSpec(stack="solar", seed=5, **SMALL))
+        run = HybridRun(dep)
+        with pytest.raises(RuntimeError):
+            run.run(10 * MS)
+        dep.sim.run(until=MS)
+        vd = VirtualDisk(dep, "vd0", dep.compute_host_names()[0], 256 * 1024 * 1024)
+        run.add_flow("flow0", vd, IOPS)
+        with pytest.raises(RuntimeError):
+            run.run(10 * MS)
