@@ -1,9 +1,10 @@
-"""Kernel-bench regression smoke: fail on a >20% events/sec drop.
+"""Bench regression smoke: kernel events/sec and sharded fleet throughput.
 
-Runs the fixed reference workload from ``bench_kernel_events.py`` once
-and compares it against the last committed entry (same workload version)
-of ``BENCH_kernel_history.jsonl`` — the append-mode events/sec
-trajectory that every official bench run extends.  Two checks:
+Two gates, both against committed append-mode trajectories:
+
+**Kernel gate** — runs the fixed reference workload from
+``bench_kernel_events.py`` once and compares it against the last
+committed entry (same workload version) of ``BENCH_kernel_history.jsonl``:
 
 * **determinism** — ``events`` and ``ios_completed`` are pure functions
   of the workload, so they must match the committed entry *exactly*; a
@@ -14,7 +15,13 @@ trajectory that every official bench run extends.  Two checks:
   on a much slower box, raise the tolerance or re-baseline with
   ``--update`` (which appends a fresh entry for committing).
 
-CI wires this as the kernel-bench smoke step::
+**Shard gate** — runs the reference fleet from ``bench_shard_scaling.py``
+once at 4 shards and compares against ``BENCH_shard_history.jsonl``: the
+result digest and event count exactly (the shard plane's byte-identity
+guarantee), and aggregate sharded events/sec within the same tolerance.
+Skip with ``--no-shard`` when only the kernel gate is wanted.
+
+CI wires this as the bench smoke step::
 
     cd benchmarks && PYTHONPATH=../src:. python check_kernel_regression.py
 
@@ -29,16 +36,21 @@ import os
 import sys
 
 from bench_kernel_events import HISTORY_PATH, WORKLOAD_VERSION, run_reference_workload
+from bench_shard_scaling import (
+    FLEET_VERSION,
+    HISTORY_PATH as SHARD_HISTORY_PATH,
+    run_sharded_probe,
+)
 
 DEFAULT_TOLERANCE = 0.20
 
 
-def load_baseline(history_path: str = HISTORY_PATH) -> dict:
-    """Latest committed trajectory entry for the current workload version."""
+def _load_entries(history_path: str, version_key: str, version: int,
+                  bench_name: str) -> dict:
     if not os.path.exists(history_path):
         raise SystemExit(
             f"no committed trajectory at {history_path} — run "
-            "bench_kernel_events.py and commit BENCH_kernel_history.jsonl"
+            f"{bench_name} and commit {os.path.basename(history_path)}"
         )
     entries = []
     with open(history_path) as handle:
@@ -46,16 +58,68 @@ def load_baseline(history_path: str = HISTORY_PATH) -> dict:
             line = line.strip()
             if line:
                 entries.append(json.loads(line))
-    entries = [e for e in entries if e.get("workload_version") == WORKLOAD_VERSION]
+    entries = [e for e in entries if e.get(version_key) == version]
     if not entries:
         raise SystemExit(
-            f"no trajectory entry for workload v{WORKLOAD_VERSION} in "
-            f"{history_path} — re-baseline with --update"
+            f"no trajectory entry for {version_key}={version} in "
+            f"{history_path} — re-baseline via {bench_name}"
         )
     return entries[-1]
 
 
-def check(update: bool = False, tolerance: float | None = None) -> int:
+def load_baseline(history_path: str = HISTORY_PATH) -> dict:
+    """Latest committed trajectory entry for the current workload version."""
+    return _load_entries(
+        history_path, "workload_version", WORKLOAD_VERSION,
+        "bench_kernel_events.py",
+    )
+
+
+def load_shard_baseline(history_path: str = SHARD_HISTORY_PATH) -> dict:
+    """Latest committed shard-scaling entry for the current fleet version."""
+    return _load_entries(
+        history_path, "fleet_version", FLEET_VERSION, "bench_shard_scaling.py"
+    )
+
+
+def check_shard(tolerance: float) -> list:
+    """The shard gate's failures (empty on pass)."""
+    baseline = load_shard_baseline()
+    fresh = run_sharded_probe(4)
+    failures = []
+    if fresh["digest"] != baseline["digest"]:
+        failures.append(
+            f"sharded fleet digest drifted: committed {baseline['digest']}, "
+            f"fresh {fresh['digest']} — the reference fleet's simulated "
+            "outcome changed; bump FLEET_VERSION and re-baseline"
+        )
+    if fresh["events"] != baseline["events"]:
+        failures.append(
+            f"sharded fleet event count drifted: committed "
+            f"{baseline['events']}, fresh {fresh['events']}"
+        )
+    committed_eps = next(
+        run["events_per_sec"] for run in baseline["runs"] if run["shards"] == 4
+    )
+    floor = committed_eps * (1.0 - tolerance)
+    if fresh["events_per_sec"] < floor:
+        failures.append(
+            f"aggregate sharded events/sec regressed >{tolerance:.0%}: "
+            f"committed {committed_eps:,.0f}, fresh "
+            f"{fresh['events_per_sec']:,.0f} (floor {floor:,.0f})"
+        )
+    print(
+        f"shard bench: committed {committed_eps:,.0f} ev/s @4 shards "
+        f"(on {baseline['cpus']} CPUs), fresh {fresh['events_per_sec']:,.0f} "
+        f"ev/s ({fresh['events_per_sec'] / committed_eps:.2f}x, "
+        f"tolerance {tolerance:.0%}), digest "
+        f"{'ok' if fresh['digest'] == baseline['digest'] else 'DRIFTED'}"
+    )
+    return failures
+
+
+def check(update: bool = False, tolerance: float | None = None,
+          shard: bool = True) -> int:
     if tolerance is None:
         tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE))
     baseline = load_baseline()
@@ -83,6 +147,8 @@ def check(update: bool = False, tolerance: float | None = None) -> int:
         f"({fresh['events_per_sec'] / baseline['events_per_sec']:.2f}x, "
         f"tolerance {tolerance:.0%})"
     )
+    if shard:
+        failures.extend(check_shard(tolerance))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
 
@@ -104,8 +170,13 @@ def main(argv=None) -> int:
         help=f"allowed events/sec drop (default {DEFAULT_TOLERANCE}, "
         "or REPRO_BENCH_TOLERANCE)",
     )
+    parser.add_argument(
+        "--no-shard", action="store_true",
+        help="skip the sharded-fleet gate (kernel gate only)",
+    )
     opts = parser.parse_args(argv)
-    return check(update=opts.update, tolerance=opts.tolerance)
+    return check(update=opts.update, tolerance=opts.tolerance,
+                 shard=not opts.no_shard)
 
 
 if __name__ == "__main__":

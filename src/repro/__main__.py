@@ -23,6 +23,7 @@ import sys
 
 from .chaos.cli import add_chaos_parser, cmd_chaos
 from .control.cli import add_upgrade_parser, cmd_upgrade
+from .dist.cli import add_dist_parser, cmd_dist
 from .ebs import DeploymentSpec, EbsDeployment, STACKS, VirtualDisk
 from .faults import IoHangMonitor
 from .lab.cli import add_sweep_parser, cmd_sweep
@@ -55,7 +56,7 @@ def cmd_info(_args) -> int:
     print(f"repro {__version__} — 'From Luna to Solar' (SIGCOMM 2022) reproduction")
     print(f"stacks: {', '.join(STACKS)}")
     print("subcommands: info | latency | compare | failover | sweep | upgrade "
-          "| monitor | chaos | rebuild")
+          "| monitor | chaos | rebuild | dist")
     return 0
 
 
@@ -146,6 +147,7 @@ def main(argv=None) -> int:
     add_monitor_parser(sub)
     add_chaos_parser(sub)
     add_rebuild_parser(sub)
+    add_dist_parser(sub)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -158,6 +160,7 @@ def main(argv=None) -> int:
         "monitor": cmd_monitor,
         "chaos": cmd_chaos,
         "rebuild": cmd_rebuild,
+        "dist": cmd_dist,
         None: cmd_info,
     }
     return handlers[args.command](args)

@@ -23,6 +23,7 @@ from ..sim.events import MS, format_ns
 HEARTBEAT_LOSS = "heartbeat-loss"
 IO_HANG = "io-hang"
 TELEMETRY_ALERT = "telemetry-alert"
+REMOTE_INCIDENT = "remote-incident"
 
 
 @dataclass(frozen=True)
@@ -190,6 +191,14 @@ class HealthMonitor:
         declares each fired rule here, so failover/upgrade machinery
         reacts to metric thresholds exactly as it does to heartbeats."""
         return self.declare(TELEMETRY_ALERT, source, detail=detail)
+
+    def report_remote(self, origin: str, kind: str, detail: str = "") -> Incident:
+        """Cross-shard inlet: an incident routed in from another
+        deployment's shard (`repro.dist`).  ``origin`` names the remote
+        deployment; ``kind`` is the remote event kind.  Declared under
+        :data:`REMOTE_INCIDENT` so local sweep logic never confuses a
+        neighbour's trouble with a local heartbeat loss."""
+        return self.declare(REMOTE_INCIDENT, origin, detail=f"{kind}: {detail}")
 
     def open_hangs(self) -> Dict[int, Incident]:
         """Open I/O-hang incidents keyed by the hung I/O's id (copy)."""

@@ -1,0 +1,552 @@
+"""The executor plane: one scheduling/retry/telemetry surface for every
+fan-out in the repo.
+
+Before this module, each parallel consumer rolled its own pool: the lab
+sweep runner wrapped ``concurrent.futures``, benches fanned through the
+runner, and a sharded fleet run would have needed a third scheme.  The
+:class:`Executor` interface collapses them to one lithops-style surface:
+
+* ``submit(fn, *args) -> Future`` — one task, resolved by ``wait``;
+* ``map(fn, argslist)`` — results in input order, any task whose worker
+  crashes or raises retried **once, serially, in the parent** (a
+  deterministic failure then reproduces with a clean traceback instead
+  of a dead pool);
+* ``wait(futures)`` — block until resolution, streaming per-task events
+  to the ``on_event`` callback (the progress telemetry the lab CLI and
+  the shard coordinator render);
+* ``shutdown()`` — tear the backend down.
+
+Two backends ship today.  :class:`SerialExecutor` runs everything
+in-process — the reference behaviour every parallel result must be
+byte-identical to.  :class:`LocalPoolExecutor` owns dedicated worker
+processes with **per-worker task queues**, which buys the one feature a
+shared pool cannot offer: ``submit(..., worker=i)`` pins a task to a
+specific process.  Stateful shard workers (:mod:`repro.dist.shardsim`)
+depend on that — a shard's simulators live in one process across the
+whole windowed run, so every ``advance`` for shard *i* must land on the
+same worker.  Remote backends (the lithops blueprint) slot in behind the
+same interface.
+
+The multiprocessing start method is pinned to ``spawn`` on every
+platform: fork-inherited state is the classic source of 3.10-vs-3.12 and
+Linux-vs-macOS divergence, and workers that re-import from a clean
+interpreter are the only configuration whose determinism we can promise
+everywhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: The pinned multiprocessing start method (see module docstring).
+START_METHOD = "spawn"
+
+#: Future / task-event states.
+PENDING = "pending"
+DONE = "done"
+FAILED = "failed"
+RETRIED = "retried"  # map(): resolved by the serial retry pass
+
+#: Grace period for draining results of a worker that just died — a
+#: worker can crash after flushing its last result into the queue.
+CRASH_DRAIN_S = 1.0
+
+
+class TaskError(RuntimeError):
+    """A task failed in a worker; the message carries the worker-side
+    traceback so the failure is debuggable from the parent."""
+
+
+class WorkerCrashError(TaskError):
+    """The worker process died (signal, ``os._exit``) mid-task."""
+
+
+class Future:
+    """Handle to one submitted task."""
+
+    __slots__ = ("task_id", "label", "worker", "status", "wall_s", "_result", "_error")
+
+    def __init__(self, task_id: int, label: str, worker: Optional[int]):
+        self.task_id = task_id
+        self.label = label
+        #: Worker slot the task was pinned to (None = any).
+        self.worker = worker
+        self.status = PENDING
+        self.wall_s = 0.0
+        self._result: Any = None
+        self._error: Optional[TaskError] = None
+
+    @property
+    def done(self) -> bool:
+        return self.status != PENDING
+
+    def result(self) -> Any:
+        """The task's return value; raises its :class:`TaskError` if it
+        failed, and :class:`TaskError` if it has not resolved yet."""
+        if self.status == PENDING:
+            raise TaskError(f"task {self.label!r} not resolved; wait() first")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def _resolve(self, value: Any, wall_s: float) -> None:
+        self._result = value
+        self.wall_s = wall_s
+        self.status = DONE
+
+    def _fail(self, error: TaskError, wall_s: float) -> None:
+        self._error = error
+        self.wall_s = wall_s
+        self.status = FAILED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Future #{self.task_id} {self.label!r} {self.status}>"
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One task's resolution, streamed to the executor's ``on_event``."""
+
+    task_id: int
+    label: str
+    status: str  # DONE | FAILED | RETRIED
+    wall_s: float = 0.0
+    error: str = ""
+
+
+@dataclass
+class ExecutorStats:
+    """Whole-executor counters (the observable telemetry contract)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    retried: int = 0
+    #: Tasks that could not reach a worker (unpicklable fn, dead pool)
+    #: and ran in the parent instead.
+    inline: int = 0
+    crashes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "retried": self.retried,
+            "inline": self.inline,
+            "crashes": self.crashes,
+        }
+
+
+OnEvent = Callable[[TaskEvent], None]
+
+
+class Executor:
+    """The scheduling interface; see the module docstring for semantics."""
+
+    def __init__(self, on_event: Optional[OnEvent] = None):
+        self.stats = ExecutorStats()
+        self._on_event = on_event
+
+    # -- backend hooks --------------------------------------------------
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        worker: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> Future:
+        raise NotImplementedError
+
+    def wait(self, futures: Optional[Sequence[Future]] = None) -> None:
+        """Block until the given futures (default: everything submitted
+        so far) have resolved."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release backend resources.  Idempotent."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -- shared machinery -----------------------------------------------
+    def _emit(self, future: Future, status: str, error: str = "") -> None:
+        if self._on_event is not None:
+            self._on_event(
+                TaskEvent(future.task_id, future.label, status, future.wall_s, error)
+            )
+
+    def map(
+        self,
+        fn: Callable[..., Any],
+        argslist: Sequence[Tuple],
+        on_result: Optional[Callable[[int, str, float, Any], None]] = None,
+    ) -> List[Any]:
+        """Run ``fn(*args)`` for every args tuple; results in input order.
+
+        Tasks that fail in a worker — crash or exception — are retried
+        once, serially, in the calling process after the parallel pass
+        drains; a second failure propagates the real exception.
+        ``on_result(index, status, wall_s, result)`` streams resolutions
+        (status :data:`DONE`, :data:`RETRIED` or :data:`FAILED`).
+        """
+        futures = [
+            self.submit(fn, *args, label=f"{getattr(fn, '__name__', 'task')}[{i}]")
+            for i, args in enumerate(argslist)
+        ]
+        index_of = {f.task_id: i for i, f in enumerate(futures)}
+
+        if on_result is not None:
+            # Stream parallel completions as they land.
+            def stream(future: Future) -> None:
+                if future.status == DONE:
+                    on_result(index_of[future.task_id], DONE, future.wall_s,
+                              future._result)
+
+            self._wait_streaming(futures, stream)
+        else:
+            self.wait(futures)
+
+        results: List[Any] = [None] * len(futures)
+        for i, future in enumerate(futures):
+            if future.status == DONE:
+                results[i] = future._result
+                continue
+            # Serial retry in the parent (once).  Counted when attempted,
+            # so telemetry still shows the retry of a doubly-failing task.
+            self.stats.retried += 1
+            t0 = time.perf_counter()
+            try:
+                results[i] = fn(*argslist[i])
+            except Exception as exc:
+                if on_result is not None:
+                    on_result(i, FAILED, time.perf_counter() - t0, exc)
+                raise
+            if on_result is not None:
+                on_result(i, RETRIED, time.perf_counter() - t0, results[i])
+        return results
+
+    def _wait_streaming(
+        self, futures: Sequence[Future], on_resolve: Callable[[Future], None]
+    ) -> None:
+        """``wait`` plus a per-future resolution callback.  The default
+        implementation waits first and replays; pool backends stream."""
+        self.wait(futures)
+        for future in futures:
+            on_resolve(future)
+
+
+class SerialExecutor(Executor):
+    """The in-process reference backend: ``submit`` runs immediately.
+
+    Every parallel backend's results must be byte-identical to this one
+    — it is also what the shard coordinator uses for the *unsharded*
+    reference path and what tests compare pools against.
+    """
+
+    start_method: Optional[str] = None  # no worker processes at all
+
+    def __init__(self, on_event: Optional[OnEvent] = None):
+        super().__init__(on_event)
+        self._futures: List[Future] = []
+        self._next_id = 0
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        worker: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> Future:
+        future = Future(self._next_id, label or getattr(fn, "__name__", "task"), worker)
+        self._next_id += 1
+        self.stats.submitted += 1
+        t0 = time.perf_counter()
+        try:
+            value = fn(*args)
+        except Exception as exc:
+            future._fail(
+                TaskError(f"{future.label}: {type(exc).__name__}: {exc}"),
+                time.perf_counter() - t0,
+            )
+            self.stats.failed += 1
+            self._emit(future, FAILED, str(exc))
+        else:
+            future._resolve(value, time.perf_counter() - t0)
+            self.stats.completed += 1
+            self._emit(future, DONE)
+        self._futures.append(future)
+        return future
+
+    def wait(self, futures: Optional[Sequence[Future]] = None) -> None:
+        return None  # everything resolved at submit time
+
+
+@dataclass
+class _Task:
+    """Parent-side record of one in-flight pool task."""
+
+    future: Future
+    worker: int
+    t0: float = field(default_factory=time.perf_counter)
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker process loop: run pickled tasks until the ``None`` sentinel.
+
+    Both directions carry pre-pickled payloads so serialization errors
+    surface synchronously in whichever process produced the object,
+    never asynchronously in a queue feeder thread.
+    """
+    while True:
+        payload = task_queue.get()
+        if payload is None:
+            break
+        task_id, fn, args = pickle.loads(payload)
+        try:
+            out = pickle.dumps((task_id, True, fn(*args)))
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            out = pickle.dumps(
+                (task_id, False, f"{type(exc).__name__}: {exc}\n"
+                 + traceback.format_exc())
+            )
+        result_queue.put(out)
+
+
+class LocalPoolExecutor(Executor):
+    """Dedicated worker processes with per-worker task queues.
+
+    ``jobs`` worker slots are spawned lazily on first use.  Unpinned
+    submits round-robin across live slots; ``worker=i`` pins a task to
+    slot ``i % jobs`` — the FIFO task queue per slot is what lets
+    stateful shard workers rely on one process seeing all their tasks
+    in submission order.
+
+    A worker that dies mid-task fails its in-flight futures with
+    :class:`WorkerCrashError` and its slot stays dead (state it held is
+    gone; respawning would silently violate the pinning contract).
+    ``map`` recovers by retrying serially; ``submit`` callers see the
+    crash in ``Future.result()``.
+    """
+
+    start_method = START_METHOD
+
+    def __init__(self, jobs: int, on_event: Optional[OnEvent] = None):
+        super().__init__(on_event)
+        jobs = int(jobs)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._ctx = multiprocessing.get_context(START_METHOD)
+        self._task_queues = [self._ctx.Queue() for _ in range(jobs)]
+        self._result_queue = self._ctx.Queue()
+        self._workers: List[Optional[Any]] = [None] * jobs
+        self._inflight: Dict[int, _Task] = {}
+        self._next_id = 0
+        self._rr = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _slot_alive(self, slot: int) -> bool:
+        proc = self._workers[slot]
+        if proc is None:
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(slot, self._task_queues[slot], self._result_queue),
+                daemon=True,
+            )
+            proc.start()
+            self._workers[slot] = proc
+            return True
+        return proc.is_alive()
+
+    def _pick_slot(self) -> Optional[int]:
+        """Round-robin over slots that are live (or never started)."""
+        for _ in range(self.jobs):
+            slot = self._rr % self.jobs
+            self._rr += 1
+            proc = self._workers[slot]
+            if proc is None or proc.is_alive():
+                return slot
+        return None
+
+    def _run_inline(self, future: Future, fn: Callable[..., Any], args: Tuple) -> None:
+        t0 = time.perf_counter()
+        self.stats.inline += 1
+        try:
+            value = fn(*args)
+        except Exception as exc:
+            future._fail(
+                TaskError(f"{future.label}: {type(exc).__name__}: {exc}"),
+                time.perf_counter() - t0,
+            )
+            self.stats.failed += 1
+            self._emit(future, FAILED, str(exc))
+        else:
+            future._resolve(value, time.perf_counter() - t0)
+            self.stats.completed += 1
+            self._emit(future, DONE)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        worker: Optional[int] = None,
+        label: Optional[str] = None,
+    ) -> Future:
+        if self._closed:
+            raise TaskError("executor is shut down")
+        future = Future(self._next_id, label or getattr(fn, "__name__", "task"), worker)
+        self._next_id += 1
+        self.stats.submitted += 1
+        try:
+            payload = pickle.dumps((future.task_id, fn, args))
+        except Exception:
+            # Not transportable to a worker — degrade to the parent, the
+            # same "pool unusable -> serial" guarantee the lab runner has
+            # always offered.
+            self._run_inline(future, fn, args)
+            return future
+        slot = worker % self.jobs if worker is not None else self._pick_slot()
+        if slot is None or not self._slot_alive(slot):
+            if worker is not None:
+                # The pinned slot is dead: state that lived there is
+                # unrecoverable, so fail loudly instead of degrading.
+                future._fail(
+                    WorkerCrashError(
+                        f"{future.label}: pinned worker {slot} is dead"
+                    ),
+                    0.0,
+                )
+                self.stats.failed += 1
+                self._emit(future, FAILED, "pinned worker dead")
+                return future
+            self._run_inline(future, fn, args)
+            return future
+        self._inflight[future.task_id] = _Task(future, slot)
+        self._task_queues[slot].put(payload)
+        return future
+
+    # ------------------------------------------------------------------
+    def _resolve_payload(
+        self, payload: bytes, on_resolve: Optional[Callable[[Future], None]]
+    ) -> None:
+        task_id, ok, value = pickle.loads(payload)
+        task = self._inflight.pop(task_id, None)
+        if task is None:  # pragma: no cover - defensive (duplicate result)
+            return
+        wall_s = time.perf_counter() - task.t0
+        if ok:
+            task.future._resolve(value, wall_s)
+            self.stats.completed += 1
+            self._emit(task.future, DONE)
+        else:
+            task.future._fail(TaskError(f"{task.future.label}: {value}"), wall_s)
+            self.stats.failed += 1
+            self._emit(task.future, FAILED, str(value))
+        if on_resolve is not None:
+            on_resolve(task.future)
+
+    def _fail_crashed(
+        self, on_resolve: Optional[Callable[[Future], None]]
+    ) -> bool:
+        """Fail in-flight tasks whose worker died.  Returns True if any
+        worker was found dead (after a grace drain for already-flushed
+        results)."""
+        dead = [
+            slot
+            for slot, proc in enumerate(self._workers)
+            if proc is not None and not proc.is_alive()
+        ]
+        dead_with_work = [
+            slot for slot in dead
+            if any(t.worker == slot for t in self._inflight.values())
+        ]
+        if not dead_with_work:
+            return False
+        # A worker can exit between flushing its result and our liveness
+        # check: drain whatever made it into the queue first.
+        deadline = time.perf_counter() + CRASH_DRAIN_S
+        while time.perf_counter() < deadline:
+            try:
+                self._resolve_payload(
+                    self._result_queue.get(timeout=0.05), on_resolve
+                )
+            except queue_mod.Empty:
+                break
+        for task_id in sorted(
+            tid for tid, t in self._inflight.items() if t.worker in dead_with_work
+        ):
+            task = self._inflight.pop(task_id)
+            self.stats.crashes += 1
+            self.stats.failed += 1
+            task.future._fail(
+                WorkerCrashError(
+                    f"{task.future.label}: worker {task.worker} died "
+                    f"(exitcode {self._workers[task.worker].exitcode})"
+                ),
+                time.perf_counter() - task.t0,
+            )
+            self._emit(task.future, FAILED, "worker crashed")
+            if on_resolve is not None:
+                on_resolve(task.future)
+        return True
+
+    def _wait_streaming(
+        self,
+        futures: Optional[Sequence[Future]],
+        on_resolve: Optional[Callable[[Future], None]],
+    ) -> None:
+        if futures is not None:
+            # Inline/instant resolutions never hit the result queue.
+            for future in futures:
+                if future.done and on_resolve is not None:
+                    on_resolve(future)
+            wanted = {f.task_id for f in futures}
+        else:
+            wanted = None
+
+        def pending() -> bool:
+            if wanted is None:
+                return bool(self._inflight)
+            return any(tid in self._inflight for tid in wanted)
+
+        while pending():
+            try:
+                payload = self._result_queue.get(timeout=0.1)
+            except queue_mod.Empty:
+                self._fail_crashed(on_resolve)
+                continue
+            self._resolve_payload(payload, on_resolve)
+
+    def wait(self, futures: Optional[Sequence[Future]] = None) -> None:
+        self._wait_streaming(futures, None)
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for slot, proc in enumerate(self._workers):
+            if proc is not None and proc.is_alive():
+                self._task_queues[slot].put(None)
+        for proc in self._workers:
+            if proc is not None:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+        # Drop queue feeder threads so interpreter shutdown never blocks.
+        for q in [*self._task_queues, self._result_queue]:
+            q.cancel_join_thread()
+            q.close()

@@ -180,6 +180,7 @@ def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
 def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         specs = build_specs(args)
+        jobs = args.jobs if args.jobs is not None else default_jobs()
     except ValueError as exc:
         print(f"sweep: {exc}", file=sys.stderr)
         return 2
@@ -188,7 +189,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     try:
         result = run_sweep(
             specs,
-            jobs=args.jobs if args.jobs is not None else default_jobs(),
+            jobs=jobs,
             store=store,
             force=args.force,
             progress=progress,

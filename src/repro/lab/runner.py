@@ -6,12 +6,14 @@ either way — `tests/test_lab.py` holds the runner to that.  The execution
 strategy is:
 
 * ``jobs <= 1`` — run in-process, serially (the reference behaviour);
-* ``jobs > 1`` — a ``ProcessPoolExecutor`` with one simulation per worker
-  task.  Workers receive the spec as canonical JSON (cheap to pickle,
-  independent of import state) and return plain dict artifacts.
+* ``jobs > 1`` — a :class:`repro.dist.executor.LocalPoolExecutor` (the
+  shared executor plane, multiprocessing start method pinned to
+  ``spawn``) with one simulation per worker task.  Workers receive the
+  spec as canonical JSON (cheap to pickle, independent of import state)
+  and return plain dict artifacts.
 * any point whose worker crashes or errors is retried **once**, serially
   in the parent — a deterministic failure then reproduces with a clean
-  traceback instead of a ``BrokenProcessPool``.
+  traceback instead of a dead pool.
 
 ``run_sweep`` layers the content-addressed store on top: cached points
 skip simulation entirely, fresh results are persisted as canonical JSON.
@@ -22,8 +24,9 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..dist import executor as dist_executor
 
 from ..ebs import EbsDeployment, VirtualDisk
 from ..faults import IoHangMonitor, TimedFault
@@ -51,14 +54,24 @@ JOBS_ENV = "REPRO_JOBS"
 
 
 def default_jobs() -> int:
-    """Worker count from ``REPRO_JOBS`` (default 1 = serial)."""
+    """Worker count from ``REPRO_JOBS`` (default 1 = serial).
+
+    Zero, negative and non-integer values are rejected here, with the
+    offending value in the message — not silently clamped, and never
+    handed onward for a worker pool to choke on.
+    """
     raw = os.environ.get(JOBS_ENV, "").strip()
     if not raw:
         return 1
     try:
-        return max(1, int(raw))
+        jobs = int(raw)
     except ValueError:
-        raise ValueError(f"{JOBS_ENV} must be an integer, got {raw!r}") from None
+        raise ValueError(
+            f"{JOBS_ENV} must be a positive integer, got {raw!r}"
+        ) from None
+    if jobs < 1:
+        raise ValueError(f"{JOBS_ENV} must be >= 1, got {jobs}")
+    return jobs
 
 
 # ----------------------------------------------------------------------
@@ -231,15 +244,18 @@ def map_parallel(
     Results come back in input order.  ``on_result(index, status, wall_s,
     result)`` streams completions as they happen.  Tasks whose worker
     dies or raises are retried once, serially, in the calling process;
-    a second failure propagates the real exception.  If the pool itself
-    cannot be used (e.g. ``fn`` is not picklable under the spawn start
-    method), every task falls back to the serial path, so callers never
-    need a platform case-split.
+    a second failure propagates the real exception.  If a task cannot
+    reach a worker at all (e.g. ``fn`` is not picklable under the spawn
+    start method), it runs in the parent instead, so callers never need
+    a platform case-split.
+
+    Execution is delegated to the shared executor plane
+    (:class:`repro.dist.executor.LocalPoolExecutor`); this wrapper keeps
+    the lab's historical status vocabulary and serial fast path.
     """
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     n = len(argslist)
     results: List[Any] = [None] * n
-    done = [False] * n
 
     def run_serial(index: int, status: str) -> None:
         t0 = time.perf_counter()
@@ -249,7 +265,6 @@ def map_parallel(
             if on_result is not None:
                 on_result(index, FAILED, time.perf_counter() - t0, exc)
             raise
-        done[index] = True
         if on_result is not None:
             on_result(index, status, time.perf_counter() - t0, results[index])
 
@@ -258,28 +273,22 @@ def map_parallel(
             run_serial(i, SIMULATED)
         return results
 
-    t0 = time.perf_counter()
-    try:
-        with ProcessPoolExecutor(max_workers=min(jobs, n)) as pool:
-            futures = {pool.submit(fn, *args): i for i, args in enumerate(argslist)}
-            for future in as_completed(futures):
-                i = futures[future]
-                try:
-                    results[i] = future.result()
-                except Exception:
-                    continue  # picked up by the retry pass below
-                done[i] = True
-                if on_result is not None:
-                    # Worker wall time is not observable from here; charge
-                    # elapsed-so-far, which is what a user perceives anyway.
-                    on_result(i, SIMULATED, time.perf_counter() - t0, results[i])
-    except Exception:
-        # The pool never came up (or broke before draining): retry below.
-        pass
+    #: Executor statuses -> the lab's historical point vocabulary.
+    status_map = {
+        dist_executor.DONE: SIMULATED,
+        dist_executor.RETRIED: RETRIED,
+        dist_executor.FAILED: FAILED,
+    }
 
-    for i in range(n):
-        if not done[i]:
-            run_serial(i, RETRIED)
+    def relay(index: int, status: str, wall_s: float, result: Any) -> None:
+        if on_result is not None:
+            on_result(index, status_map[status], wall_s, result)
+
+    pool = dist_executor.LocalPoolExecutor(min(jobs, n))
+    try:
+        results = pool.map(fn, argslist, on_result=relay)
+    finally:
+        pool.shutdown()
     return results
 
 

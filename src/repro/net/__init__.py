@@ -3,6 +3,7 @@ in-band telemetry and failure scenarios."""
 
 from .ecmp import flow_hash, pick
 from .endpoint import Endpoint
+from .fabric import FabricBoundary, ShardMessage
 from .failures import (
     FailureScenario,
     random_drop,
@@ -19,6 +20,8 @@ from .switch import Switch
 from .topology import ClosTopology, PodSpec
 
 __all__ = [
+    "FabricBoundary",
+    "ShardMessage",
     "Packet",
     "IntRecord",
     "FiveTuple",

@@ -1,0 +1,132 @@
+"""FN-fabric boundaries: where a shard's simulation ends and another's
+begins.
+
+The shard plane (:mod:`repro.dist`) cuts a fleet at deployment
+granularity; traffic that crosses the cut — rebuild storms spilling onto
+another deployment's BN, live migrations landing their I/O load
+elsewhere, fabric incidents propagating fleet-wide — travels as
+timestamped :class:`ShardMessage` records instead of simulated packets.
+
+The correctness rule is the conservative-lookahead contract: a message
+exported at simulated time ``t`` may not be delivered before
+``t + crossing_ns``, where ``crossing_ns`` is at least the coordinator's
+lookahead window.  That bound is what lets every shard advance one full
+window without waiting on its peers — nothing a peer does inside the
+current window can affect this shard before the *next* window boundary.
+:class:`FabricBoundary` enforces the bound at export time, so a protocol
+violation is an immediate error in the producing shard rather than a
+nondeterminism three artifacts later.
+
+Message ordering is total and layout-independent: ``(deliver_at_ns,
+src, seq)`` — timestamp, then origin deployment, then per-origin export
+sequence.  Every shard count delivers the same messages in the same
+order at the same barriers, which is the keystone of the subsystem's
+byte-identical-across-shard-counts guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+__all__ = ["ShardMessage", "FabricBoundary", "message_sort_key"]
+
+
+@dataclass(frozen=True)
+class ShardMessage:
+    """One timestamped unit of cross-shard traffic."""
+
+    #: Absolute simulated delivery time at the destination.
+    deliver_at_ns: int
+    #: Origin deployment index (fleet-wide numbering).
+    src: int
+    #: Per-origin export sequence number (tie-break within one ns).
+    seq: int
+    #: Destination deployment index.
+    dst: int
+    #: Traffic kind — ``rebuild`` | ``migration`` | ``incident``.
+    kind: str
+    #: Kind-specific parameters (JSON-able scalars only).
+    payload: Dict[str, Any]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "deliver_at_ns": self.deliver_at_ns,
+            "src": self.src,
+            "seq": self.seq,
+            "dst": self.dst,
+            "kind": self.kind,
+            "payload": dict(self.payload),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ShardMessage":
+        return cls(
+            deliver_at_ns=int(d["deliver_at_ns"]),
+            src=int(d["src"]),
+            seq=int(d["seq"]),
+            dst=int(d["dst"]),
+            kind=str(d["kind"]),
+            payload=dict(d["payload"]),
+        )
+
+
+def message_sort_key(msg: ShardMessage) -> Tuple[int, int, int]:
+    """The total delivery order — identical for every shard layout."""
+    return (msg.deliver_at_ns, msg.src, msg.seq)
+
+
+class FabricBoundary:
+    """Outbound message edge of one deployment simulation.
+
+    Created with the deployment's fleet-wide index and the fabric's
+    minimum crossing latency; handlers inside the deployment call
+    :meth:`export` as cross-shard traffic is generated, and the shard
+    worker drains the buffer at each window barrier.
+    """
+
+    def __init__(self, sim, src: int, crossing_ns: int):
+        if crossing_ns <= 0:
+            raise ValueError(f"crossing_ns must be positive: {crossing_ns}")
+        self._sim = sim
+        self.src = src
+        self.crossing_ns = crossing_ns
+        self._seq = 0
+        self._out: List[ShardMessage] = []
+        #: Lifetime export counter (survives drains; lands in artifacts).
+        self.exported = 0
+
+    def export(
+        self,
+        kind: str,
+        dst: int,
+        payload: Dict[str, Any],
+        deliver_at_ns: int | None = None,
+    ) -> ShardMessage:
+        """Queue a message for delivery at ``deliver_at_ns`` (default:
+        now + the minimum crossing latency).
+
+        Raises ``ValueError`` when the requested delivery time violates
+        the lookahead contract — that is a programming error in the
+        caller, and letting it through would silently break determinism
+        across shard counts.
+        """
+        earliest = self._sim.now + self.crossing_ns
+        if deliver_at_ns is None:
+            deliver_at_ns = earliest
+        elif deliver_at_ns < earliest:
+            raise ValueError(
+                f"cross-shard delivery at {deliver_at_ns}ns violates the "
+                f"lookahead contract (now={self._sim.now}ns + "
+                f"crossing={self.crossing_ns}ns = {earliest}ns minimum)"
+            )
+        msg = ShardMessage(int(deliver_at_ns), self.src, self._seq, dst, kind, payload)
+        self._seq += 1
+        self.exported += 1
+        self._out.append(msg)
+        return msg
+
+    def drain(self) -> List[ShardMessage]:
+        """Take everything exported since the last drain (barrier hook)."""
+        out, self._out = self._out, []
+        return out

@@ -23,13 +23,47 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from ..profiles import BLOCK_SIZE
+from ..profiles import BLOCK_SIZE, bytes_time_ns
 from ..storage.segment_table import RebuildItem
 from .executor import RebuildExecutor
 
 #: Incident kind for "this segment currently has no live source to copy
 #: from" — surfaced instead of letting the rebuild hang silently.
 REBUILD_STUCK = "rebuild-unrecoverable"
+
+
+def spillover_schedule(
+    bytes_total: int, chunk_bytes: int, rate_gbps: float, start_ns: int = 0
+) -> List[Tuple[int, int]]:
+    """Paced ``(at_ns, size_bytes)`` chunk schedule for rebuild traffic
+    that lands on a *remote* deployment.
+
+    When a node failure's re-replication fans out across the FN fabric
+    (`repro.dist` cross-shard routing), the receiving shard does not run
+    this planner — it only sees the traffic.  This helper is the shape
+    of that traffic: the same leaky-bucket pacing the
+    :class:`~repro.rebuild.executor.RebuildExecutor` applies locally,
+    reduced to a deterministic issue schedule the remote deployment can
+    inject as real BN I/O.  Chunks are issued back-to-back at the wire
+    time of ``chunk_bytes`` at ``rate_gbps``, with a short final chunk
+    for the remainder.
+    """
+    if bytes_total <= 0:
+        raise ValueError(f"bytes_total must be positive: {bytes_total}")
+    if chunk_bytes <= 0:
+        raise ValueError(f"chunk_bytes must be positive: {chunk_bytes}")
+    if rate_gbps <= 0:
+        raise ValueError(f"rate_gbps must be positive: {rate_gbps}")
+    gap_ns = bytes_time_ns(chunk_bytes, rate_gbps)
+    schedule: List[Tuple[int, int]] = []
+    offset = 0
+    at_ns = int(start_ns)
+    while offset < bytes_total:
+        size = min(chunk_bytes, bytes_total - offset)
+        schedule.append((at_ns, size))
+        offset += size
+        at_ns += gap_ns
+    return schedule
 
 
 @dataclass(frozen=True)

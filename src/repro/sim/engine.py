@@ -177,6 +177,38 @@ class Simulator:
         """Run for a relative duration from the current time."""
         return self.run(until=self.now + int(duration_ns), **kwargs)
 
+    def run_window(self, horizon_ns: int, **kwargs: Any) -> int:
+        """Advance to the absolute ``horizon_ns`` — the conservative
+        lookahead-window stepping API used by the shard plane
+        (:mod:`repro.dist`).
+
+        Like :meth:`run` with ``until``, but barrier-exact: the horizon
+        must not lie in the past, and the clock always lands *exactly*
+        on it — never past it.  Plain ``run(until=...)`` can overshoot
+        when a cancelled timer heads the queue (its raw-head ``until``
+        check admits the next live event even past the bound, see
+        :meth:`run`); a shard that overshot its barrier would reject the
+        next window's inbound messages as scheduled in the past.  The
+        stop-sentinel planted at the horizon closes that hole: the
+        earliest live event is then never later than the horizon, so the
+        ghost fast-path cannot skip past it.
+
+        Events stamped exactly at the horizon fire in this window when
+        scheduled before the call (the coordinator's delivery rule);
+        ones scheduled *during* the window at exactly the horizon fire
+        at the start of the next window — same outcome for every shard
+        layout, which is the property the shard plane needs.  Returns
+        the number of physical events processed (the sentinel included).
+        """
+        horizon_ns = int(horizon_ns)
+        if horizon_ns < self.now:
+            raise SimulationError(
+                f"window horizon {format_ns(horizon_ns)} is in the past; "
+                f"now is {format_ns(self.now)}"
+            )
+        self.schedule_at_fire(horizon_ns, self.stop)
+        return self.run(until=horizon_ns, **kwargs)
+
     def stop(self) -> None:
         """Stop the current :meth:`run` after the in-flight event returns."""
         self._stopped = True

@@ -1,0 +1,170 @@
+"""The executor plane: futures, pools, pinning, crash recovery.
+
+The contracts under test:
+
+* ``map`` preserves argument order in its results regardless of backend
+  or completion order, and retries each failed task once, serially, in
+  the parent;
+* ``worker=`` pins every call with the same index to the same process —
+  the affinity the shard plane's per-process state depends on;
+* worker processes use the ``spawn`` start method (no forked simulator
+  state, identical semantics on every platform);
+* ``REPRO_JOBS`` is validated loudly, not coerced.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.dist import executor as ex
+from repro.lab.runner import JOBS_ENV, default_jobs, map_parallel
+
+
+def square(x):
+    return x * x
+
+
+def fail_on_three(x):
+    if x == 3:
+        raise ValueError("three is right out")
+    return x * 10
+
+
+def crash_in_worker(x):
+    # os._exit in a *worker* only: the parent retry then succeeds, which
+    # is exactly the crash-recovery path map() promises.
+    if multiprocessing.parent_process() is not None:
+        os._exit(13)
+    return x + 100
+
+
+def worker_pid(_x):
+    return os.getpid()
+
+
+# ----------------------------------------------------------------------
+# SerialExecutor
+# ----------------------------------------------------------------------
+def test_serial_map_order_and_stats():
+    with ex.SerialExecutor() as pool:
+        assert pool.map(square, [(i,) for i in range(6)]) == [
+            0, 1, 4, 9, 16, 25
+        ]
+        assert pool.stats.submitted == 6
+        assert pool.stats.completed == 6
+        assert pool.stats.failed == 0
+
+
+def test_serial_submit_future_error():
+    with ex.SerialExecutor() as pool:
+        future = pool.submit(fail_on_three, 3)
+        pool.wait([future])
+        assert future.status == ex.FAILED
+        with pytest.raises(ex.TaskError, match="three is right out"):
+            future.result()
+
+
+# ----------------------------------------------------------------------
+# LocalPoolExecutor
+# ----------------------------------------------------------------------
+def test_pool_map_order():
+    with ex.LocalPoolExecutor(2) as pool:
+        assert pool.map(square, [(i,) for i in range(8)]) == [
+            i * i for i in range(8)
+        ]
+
+
+def test_pool_uses_spawn_start_method():
+    assert ex.START_METHOD == "spawn"
+    with ex.LocalPoolExecutor(1) as pool:
+        assert pool._ctx.get_start_method() == "spawn"
+
+
+def test_pool_worker_pinning():
+    with ex.LocalPoolExecutor(2) as pool:
+        futures = [
+            pool.submit(worker_pid, i, worker=i % 2) for i in range(6)
+        ]
+        pool.wait(futures)
+        pids = [f.result() for f in futures]
+    # Same slot -> same process, different slots -> different processes.
+    assert len({pids[0], pids[2], pids[4]}) == 1
+    assert len({pids[1], pids[3], pids[5]}) == 1
+    assert pids[0] != pids[1]
+    for pid in pids:
+        assert pid != os.getpid()
+
+
+def test_pool_map_retries_failure_serially_then_raises():
+    events = []
+    with ex.LocalPoolExecutor(2, on_event=events.append) as pool:
+        # The serial retry surfaces the *real* exception, not a wrapper —
+        # that is the lab contract map_parallel documents.
+        with pytest.raises(ValueError, match="three is right out"):
+            pool.map(fail_on_three, [(i,) for i in range(5)])
+        assert pool.stats.retried == 1  # the retry was attempted...
+        assert pool.stats.failed >= 1  # ...and failed again
+    assert any(e.status == ex.FAILED for e in events)
+
+
+def test_pool_map_recovers_from_worker_crash():
+    with ex.LocalPoolExecutor(2) as pool:
+        results = pool.map(crash_in_worker, [(i,) for i in range(4)])
+        assert results == [100, 101, 102, 103]
+        assert pool.stats.crashes >= 1
+        assert pool.stats.retried >= 1
+
+
+def test_pool_submit_to_dead_slot_fails_loudly():
+    with ex.LocalPoolExecutor(1) as pool:
+        first = pool.submit(crash_in_worker, 0, worker=0)
+        pool.wait([first])
+        assert first.status == ex.FAILED
+        with pytest.raises(ex.WorkerCrashError):
+            first.result()
+        # The slot stays dead: pinned work must not silently run inline.
+        second = pool.submit(worker_pid, 0, worker=0)
+        pool.wait([second])
+        with pytest.raises(ex.WorkerCrashError):
+            second.result()
+
+
+def test_pool_unpicklable_args_run_inline():
+    with ex.LocalPoolExecutor(1) as pool:
+        future = pool.submit(square, 4)  # warm: normal path
+        pool.wait([future])
+        assert future.result() == 16
+        bad = pool.submit(square, lambda: None)  # unpicklable arg
+        pool.wait([bad])
+        assert pool.stats.inline >= 1
+        with pytest.raises(ex.TaskError):
+            bad.result()
+
+
+# ----------------------------------------------------------------------
+# repro.lab integration (satellites: REPRO_JOBS validation, spawn pin)
+# ----------------------------------------------------------------------
+def test_default_jobs_validation(monkeypatch):
+    monkeypatch.delenv(JOBS_ENV, raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv(JOBS_ENV, "3")
+    assert default_jobs() == 3
+    for bad in ("0", "-2", "abc", "1.5"):
+        monkeypatch.setenv(JOBS_ENV, bad)
+        with pytest.raises(ValueError, match=JOBS_ENV):
+            default_jobs()
+
+
+def test_map_parallel_rides_executor_plane():
+    statuses = []
+
+    def on_result(index, status, wall_s, result):
+        statuses.append((index, status))
+
+    results = map_parallel(
+        square, [(i,) for i in range(4)], jobs=2, on_result=on_result
+    )
+    assert results == [0, 1, 4, 9]
+    assert sorted(i for i, _ in statuses) == [0, 1, 2, 3]
+    assert {s for _, s in statuses} == {"simulated"}
