@@ -21,6 +21,12 @@ result digest and event count exactly (the shard plane's byte-identity
 guarantee), and aggregate sharded events/sec within the same tolerance.
 Skip with ``--no-shard`` when only the kernel gate is wanted.
 
+**Scenario gate** (opt-in via ``--scenario``) — runs the CI-sized
+scenario suite from ``bench_scenario_suite.py`` and compares against
+``BENCH_scenario_history.jsonl``: the combined report digest exactly
+(the behavior-envelope byte-identity guarantee), every SLO gate passing,
+and suite throughput within the same tolerance.
+
 CI wires this as the bench smoke step::
 
     cd benchmarks && PYTHONPATH=../src:. python check_kernel_regression.py
@@ -36,6 +42,11 @@ import os
 import sys
 
 from bench_kernel_events import HISTORY_PATH, WORKLOAD_VERSION, run_reference_workload
+from bench_scenario_suite import (
+    HISTORY_PATH as SCENARIO_HISTORY_PATH,
+    SUITE_VERSION,
+    run_suite_probe,
+)
 from bench_shard_scaling import (
     FLEET_VERSION,
     HISTORY_PATH as SHARD_HISTORY_PATH,
@@ -82,6 +93,55 @@ def load_shard_baseline(history_path: str = SHARD_HISTORY_PATH) -> dict:
     )
 
 
+def load_scenario_baseline(history_path: str = SCENARIO_HISTORY_PATH) -> dict:
+    """Latest committed scenario-suite entry for the current suite version."""
+    return _load_entries(
+        history_path, "suite_version", SUITE_VERSION, "bench_scenario_suite.py"
+    )
+
+
+def check_scenario(tolerance: float) -> list:
+    """The scenario-suite gate's failures (empty on pass).
+
+    Opt-in via ``--scenario``: report digests must match the committed
+    trajectory exactly (byte-identical behavior envelope), every SLO
+    gate must pass, and suite throughput stays within tolerance.
+    """
+    baseline = load_scenario_baseline()
+    fresh = run_suite_probe()
+    failures = []
+    if not fresh["passes"]:
+        failures.append("a suite scenario violated its SLO gates")
+    if fresh["combined_digest"] != baseline["combined_digest"]:
+        drifted = sorted(
+            name
+            for name in set(fresh["digests"]) | set(baseline["digests"])
+            if fresh["digests"].get(name) != baseline["digests"].get(name)
+        )
+        failures.append(
+            f"scenario report digests drifted: committed "
+            f"{baseline['combined_digest']}, fresh {fresh['combined_digest']} "
+            f"(changed: {', '.join(drifted)}) — the simulated behavior "
+            "envelope changed; bump SUITE_VERSION and re-baseline"
+        )
+    floor = baseline["ios_per_sec"] * (1.0 - tolerance)
+    if fresh["ios_per_sec"] < floor:
+        failures.append(
+            f"scenario suite I/Os/sec regressed >{tolerance:.0%}: committed "
+            f"{baseline['ios_per_sec']:,.0f}, fresh "
+            f"{fresh['ios_per_sec']:,.0f} (floor {floor:,.0f})"
+        )
+    print(
+        f"scenario bench: committed {baseline['ios_per_sec']:,.0f} io/s, "
+        f"fresh {fresh['ios_per_sec']:,.0f} io/s "
+        f"({fresh['ios_per_sec'] / baseline['ios_per_sec']:.2f}x, "
+        f"tolerance {tolerance:.0%}), digest "
+        f"{'ok' if fresh['combined_digest'] == baseline['combined_digest'] else 'DRIFTED'}"
+        f", gates {'pass' if fresh['passes'] else 'FAIL'}"
+    )
+    return failures
+
+
 def check_shard(tolerance: float) -> list:
     """The shard gate's failures (empty on pass)."""
     baseline = load_shard_baseline()
@@ -119,7 +179,7 @@ def check_shard(tolerance: float) -> list:
 
 
 def check(update: bool = False, tolerance: float | None = None,
-          shard: bool = True) -> int:
+          shard: bool = True, scenario: bool = False) -> int:
     if tolerance is None:
         tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE))
     baseline = load_baseline()
@@ -149,6 +209,8 @@ def check(update: bool = False, tolerance: float | None = None,
     )
     if shard:
         failures.extend(check_shard(tolerance))
+    if scenario:
+        failures.extend(check_scenario(tolerance))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
 
@@ -174,9 +236,14 @@ def main(argv=None) -> int:
         "--no-shard", action="store_true",
         help="skip the sharded-fleet gate (kernel gate only)",
     )
+    parser.add_argument(
+        "--scenario", action="store_true",
+        help="also run the scenario-suite gate (SLO gates + report-digest "
+             "determinism against BENCH_scenario_history.jsonl)",
+    )
     opts = parser.parse_args(argv)
     return check(update=opts.update, tolerance=opts.tolerance,
-                 shard=not opts.no_shard)
+                 shard=not opts.no_shard, scenario=opts.scenario)
 
 
 if __name__ == "__main__":

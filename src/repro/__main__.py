@@ -29,6 +29,7 @@ from .faults import IoHangMonitor
 from .lab.cli import add_sweep_parser, cmd_sweep
 from .net.failures import switch_blackhole
 from .rebuild.cli import add_rebuild_parser, cmd_rebuild
+from .scenario.cli import add_scenario_parser, cmd_scenario
 from .sim import MS, SECOND
 from .telemetry.cli import add_monitor_parser, cmd_monitor
 
@@ -56,7 +57,7 @@ def cmd_info(_args) -> int:
     print(f"repro {__version__} — 'From Luna to Solar' (SIGCOMM 2022) reproduction")
     print(f"stacks: {', '.join(STACKS)}")
     print("subcommands: info | latency | compare | failover | sweep | upgrade "
-          "| monitor | chaos | rebuild | dist")
+          "| monitor | chaos | rebuild | dist | scenario")
     return 0
 
 
@@ -148,6 +149,7 @@ def main(argv=None) -> int:
     add_chaos_parser(sub)
     add_rebuild_parser(sub)
     add_dist_parser(sub)
+    add_scenario_parser(sub)
 
     args = parser.parse_args(argv)
     handlers = {
@@ -161,6 +163,7 @@ def main(argv=None) -> int:
         "chaos": cmd_chaos,
         "rebuild": cmd_rebuild,
         "dist": cmd_dist,
+        "scenario": cmd_scenario,
         None: cmd_info,
     }
     return handlers[args.command](args)

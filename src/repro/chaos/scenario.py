@@ -23,8 +23,13 @@ from typing import Any, Dict, List, Sequence, Union
 
 from ..lab.spec import canonical_json
 
-#: Bump when the scenario schema changes incompatibly.
-SCENARIO_VERSION = 1
+#: Version of the unified scenario envelope.  Since v2, chaos
+#: counterexamples and `repro.scenario` workload scenarios share one
+#: envelope layout ({version, kind, name, digest, ...}), discriminated
+#: by ``kind`` — chaos files carry ``kind: "chaos"``.  v1 files (the
+#: pre-envelope chaos-only layout) still load; the digest function is
+#: unchanged, so migrated files keep their digests and replay reports.
+SCENARIO_VERSION = 2
 
 #: Action names the harness can apply (see ChaosHarness._do_*).
 ACTION_RULES = (
@@ -100,6 +105,7 @@ class ChaosScenario:
     def to_dict(self) -> Dict[str, Any]:
         return {
             "version": SCENARIO_VERSION,
+            "kind": "chaos",
             "name": self.name,
             "description": self.description,
             "digest": self.digest,
@@ -110,10 +116,22 @@ class ChaosScenario:
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ChaosScenario":
         version = payload.get("version")
-        if version != SCENARIO_VERSION:
+        if version == 1:
+            # Pre-envelope layout: chaos-only, no ``kind`` discriminator.
+            # The content digest is computed identically, so legacy files
+            # replay byte-for-byte the same.
+            pass
+        elif version == SCENARIO_VERSION:
+            kind = payload.get("kind")
+            if kind != "chaos":
+                raise ValueError(
+                    f"not a chaos scenario (kind={kind!r}); "
+                    "workload scenarios load via repro.scenario"
+                )
+        else:
             raise ValueError(
                 f"unsupported scenario version {version!r} "
-                f"(this build reads version {SCENARIO_VERSION})"
+                f"(this build reads versions 1 and {SCENARIO_VERSION})"
             )
         return cls(
             name=payload["name"],

@@ -77,14 +77,28 @@ def default_jobs() -> int:
 # ----------------------------------------------------------------------
 # Point execution (pure: spec + seed -> artifact dict)
 # ----------------------------------------------------------------------
-def execute_point(spec: ExperimentSpec, seed: int) -> Dict[str, Any]:
+def execute_point(
+    spec: ExperimentSpec,
+    seed: int,
+    observe: Optional[Callable[..., None]] = None,
+) -> Dict[str, Any]:
     """Simulate one point and return its JSON-ready result artifact.
 
     The artifact contains only values derived from the simulation (never
     wall-clock readings), so the same point always yields the same bytes
     under :func:`repro.lab.spec.canonical_json`.
+
+    ``observe(deployment, vd)`` is called after the deployment and
+    virtual disk are built but before any I/O is issued — the in-process
+    hook `repro.scenario` records traces through.  Hooks are local
+    closures, so observed points always run in the calling process
+    (``run_sweep``'s worker path never passes one); drill points
+    (upgrade/rebuild) run their own fleet loop and refuse the hook
+    rather than silently never calling it.
     """
     if spec.upgrade is not None:
+        if observe is not None:
+            raise ValueError("upgrade drill points cannot be observed")
         # Control-plane drills replace the plain workload entirely.  Lazy
         # import: repro.control imports repro.lab.spec, so the module-level
         # direction must stay lab <- control.
@@ -92,6 +106,8 @@ def execute_point(spec: ExperimentSpec, seed: int) -> Dict[str, Any]:
 
         return execute_upgrade_point(spec, seed)
     if spec.rebuild is not None:
+        if observe is not None:
+            raise ValueError("rebuild drill points cannot be observed")
         # Same lazy-import rule: lab <- rebuild only inside the dispatch.
         from ..rebuild.drill import execute_rebuild_point
 
@@ -100,6 +116,8 @@ def execute_point(spec: ExperimentSpec, seed: int) -> Dict[str, Any]:
     host = dep.compute_host_names()[0]
     vd = VirtualDisk(dep, "lab-vd0", host, spec.vd_size_mb * 1024 * 1024)
     monitor = IoHangMonitor(dep.sim, threshold_ns=spec.hang_threshold_ns)
+    if observe is not None:
+        observe(dep, vd)
     plane = None
     if spec.telemetry is not None:
         # Lazy import: repro.telemetry is optional equipment for a point,
@@ -188,12 +206,13 @@ def execute_point(spec: ExperimentSpec, seed: int) -> Dict[str, Any]:
     else:  # trace
         records = [IoRecord(*row) for row in w.records]
         result = replay(
-            dep.sim, vd, records, time_scale=w.time_scale, on_each=monitor.note_completion
+            dep.sim, vd, records, time_scale=w.time_scale, size_scale=w.size_scale,
+            on_each=monitor.note_completion, on_issue=monitor.watch,
         )
         dep.run(until_ns=until)
         issued, completed, failed = result.issued, result.completed, result.failed
         latency = result.latency
-        bytes_moved = sum(r.size_bytes for r in records)
+        bytes_moved = result.issued_bytes
         duration_ns = min(dep.sim.now, w.horizon_ns + DRAIN_NS)
 
     ok_traces = dep.collector.completed()

@@ -34,7 +34,9 @@ from ..net.failures import (
 from ..sim import MS, SECOND, US
 
 #: Bump when the artifact layout changes: old cache entries stop matching.
-SCHEMA_VERSION = 4
+#: v5: trace workloads gained ``size_scale`` and are hang-watched at issue
+#: (``watched`` now counts replayed I/Os), for the scenario plane.
+SCHEMA_VERSION = 5
 
 WORKLOAD_MODES = ("fio", "isolated", "trace")
 
@@ -85,6 +87,9 @@ class WorkloadSpec:
     # trace mode: rows of (at_ns, kind, offset_bytes, size_bytes)
     records: Tuple[Tuple[int, str, int, int], ...] = ()
     time_scale: float = 1.0
+    #: Multiplies replayed I/O sizes (re-aligned to 4KB) — with
+    #: ``time_scale`` these are the scenario plane's rate/size knobs.
+    size_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.mode not in WORKLOAD_MODES:
@@ -104,6 +109,8 @@ class WorkloadSpec:
                 raise ValueError("trace workload needs at least one record")
             if self.time_scale <= 0:
                 raise ValueError(f"non-positive time scale: {self.time_scale}")
+            if self.size_scale <= 0:
+                raise ValueError(f"non-positive size scale: {self.size_scale}")
 
     @property
     def horizon_ns(self) -> int:

@@ -1,0 +1,110 @@
+"""Capture any simulation run as a replayable FleetTrace.
+
+A :class:`FleetTraceRecorder` taps the hooks every run already exposes —
+:meth:`repro.ebs.VirtualDisk.subscribe` for the per-VD I/O stream and
+:meth:`repro.metrics.trace.TraceCollector.subscribe` for a
+capture-completeness cross-check — so fio jobs, production generators,
+chaos walks and rebuild drills all record through the same two lines::
+
+    recorder = FleetTraceRecorder("my-run")
+    recorder.watch_vd(vd)
+    ... run the simulation ...
+    trace = recorder.trace()
+
+Timing discipline: every record's ``at_ns`` is the I/O's *issue*
+timestamp offset against one explicit ``epoch_ns`` (default 0 — the
+simulator's time zero), never a first-record latch, so two recorders on
+the same simulation agree on time zero and their traces compose into
+one fleet capture.  I/Os issued before the epoch are dropped and
+counted (``skipped_before_epoch``); I/Os that never complete by the end
+of the run are invisible to the completion-side hook and therefore
+absent — the cross-check counters surface how many I/Os the collector
+saw versus how many the recorder captured.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..agent.base import IoRequest
+from ..ebs.virtual_disk import VirtualDisk
+from ..metrics.trace import TraceCollector
+from ..workloads.replay import IoRecord
+from .trace import FleetTrace, StreamMeta
+
+
+class FleetTraceRecorder:
+    """Multi-stream trace capture against one explicit epoch."""
+
+    def __init__(self, name: str = "recorded", epoch_ns: int = 0,
+                 description: str = ""):
+        if epoch_ns < 0:
+            raise ValueError(f"epoch_ns cannot be negative: {epoch_ns}")
+        self.name = name
+        self.epoch_ns = epoch_ns
+        self.description = description
+        self._streams: Dict[str, List[IoRecord]] = {}
+        self._meta: Dict[str, StreamMeta] = {}
+        #: I/Os dropped because they were issued before the epoch.
+        self.skipped_before_epoch = 0
+        #: Completed traces the attached collector saw (0 if detached).
+        self.collector_seen = 0
+
+    # ------------------------------------------------------------------
+    def watch_vd(self, vd: VirtualDisk, stream: Optional[str] = None,
+                 source: str = "recorded") -> str:
+        """Record every I/O of ``vd`` under stream ``stream`` (default:
+        the VD's own id).  Returns the stream name."""
+        stream = vd.vd_id if stream is None else stream
+        if stream in self._meta:
+            raise ValueError(f"stream {stream!r} is already being recorded")
+        self._streams[stream] = []
+        self._meta[stream] = StreamMeta(
+            vd_size_mb=max(1, vd.size_bytes // (1024 * 1024)), source=source
+        )
+        vd.subscribe(lambda io: self._on_io(stream, io))
+        return stream
+
+    def watch_collector(self, collector: TraceCollector) -> None:
+        """Cross-check hook: count every completed trace the deployment's
+        collector records, so ``captured`` vs ``collector_seen`` exposes
+        I/O streams the recorder was never pointed at."""
+        collector.subscribe(lambda _trace: self._on_collector())
+
+    def _on_collector(self) -> None:
+        self.collector_seen += 1
+
+    def _on_io(self, stream: str, io: IoRequest) -> None:
+        submit_ns = io.trace.submit_ns if io.trace is not None else None
+        if submit_ns is None:
+            return  # untraced I/O: no issue timestamp to anchor on
+        if submit_ns < self.epoch_ns:
+            self.skipped_before_epoch += 1
+            return
+        self._streams[stream].append(
+            IoRecord(
+                at_ns=submit_ns - self.epoch_ns,
+                kind=io.kind,
+                offset_bytes=io.offset_bytes,
+                size_bytes=io.size_bytes,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def captured(self) -> int:
+        return sum(len(records) for records in self._streams.values())
+
+    def trace(self) -> FleetTrace:
+        """The capture as a digest-keyed FleetTrace (streams that saw no
+        I/O are dropped — an idle VD is not part of the envelope)."""
+        streams = {s: list(r) for s, r in self._streams.items() if r}
+        if not streams:
+            raise ValueError(f"recorder {self.name!r} captured no I/O")
+        return FleetTrace(
+            name=self.name,
+            streams=streams,
+            meta={s: self._meta[s] for s in streams},
+            description=self.description,
+            epoch_ns=self.epoch_ns,
+        )

@@ -36,9 +36,15 @@ __all__ = [
     "weekly_modulation",
 ]
 
-from .replay import IoRecord, TraceRecorder, load_trace, replay  # noqa: E402
+from .replay import (  # noqa: E402
+    IoRecord,
+    TraceFormatError,
+    TraceRecorder,
+    load_trace,
+    replay,
+)
 
-__all__ += ["IoRecord", "TraceRecorder", "load_trace", "replay"]
+__all__ += ["IoRecord", "TraceFormatError", "TraceRecorder", "load_trace", "replay"]
 
 from .patterns import (  # noqa: E402
     SequentialPattern,

@@ -5,6 +5,11 @@ workload across stack generations.  A :class:`TraceRecorder` captures an
 I/O stream as portable records; :func:`replay` re-issues them, preserving
 inter-arrival times, against any deployment.  Traces serialize to JSON
 lines so they can be stored alongside experiment results.
+
+This module is the seed of the scenario plane: `repro.scenario.trace`
+builds the multi-stream, digest-keyed :class:`FleetTrace` container on
+top of these single-stream records, and `repro.scenario.record` captures
+whole deployments through the telemetry subscribe hooks.
 """
 
 from __future__ import annotations
@@ -17,6 +22,22 @@ from ..agent.base import IoRequest
 from ..ebs.virtual_disk import VirtualDisk
 from ..metrics.stats import LatencyStats
 from ..sim.engine import Simulator
+
+
+class TraceFormatError(ValueError):
+    """A malformed trace file: carries the offending line number.
+
+    One typed error for every parse-time failure (bad JSON, missing
+    keys, invalid field values), so callers catch one exception class
+    instead of the union of ``json.JSONDecodeError``/``TypeError``/
+    ``ValueError`` the underlying decode can raise.
+    """
+
+    def __init__(self, message: str, line_no: Optional[int] = None):
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
 
 
 @dataclass(frozen=True)
@@ -36,12 +57,27 @@ class IoRecord:
 
 
 class TraceRecorder:
-    """Collects IoRecords; wrap a generator's issue path with record()."""
+    """Collects IoRecords; wrap a generator's issue path with record().
 
-    def __init__(self, sim: Simulator):
+    ``epoch_ns`` fixes the recording's time zero explicitly.  The default
+    (``None``) keeps the historical behaviour — latch on the first
+    ``record()`` call — which is fine for a single recorder but makes two
+    recorders on the same simulator disagree about time zero when their
+    first I/Os differ.  Recorders that must compose (the scenario plane's
+    multi-stream capture) pass the shared epoch explicitly.
+    """
+
+    def __init__(self, sim: Simulator, epoch_ns: Optional[int] = None):
         self.sim = sim
         self.records: List[IoRecord] = []
-        self._t0: Optional[int] = None
+        if epoch_ns is not None and epoch_ns < 0:
+            raise ValueError(f"epoch_ns cannot be negative: {epoch_ns}")
+        self._t0: Optional[int] = epoch_ns
+
+    @property
+    def epoch_ns(self) -> Optional[int]:
+        """The recording's time zero (None until the first record latches)."""
+        return self._t0
 
     def record(self, kind: str, offset_bytes: int, size_bytes: int) -> None:
         if self._t0 is None:
@@ -57,16 +93,29 @@ class TraceRecorder:
 
 
 def load_trace(fp: TextIO) -> List[IoRecord]:
-    """Parse a JSON-lines trace, validating every record."""
+    """Parse a JSON-lines trace, validating every record.
+
+    Malformed lines raise :class:`TraceFormatError` naming the offending
+    line number; no bare ``ValueError``/``json.JSONDecodeError`` leaks
+    to callers.
+    """
     records = []
     for line_no, line in enumerate(fp, 1):
         line = line.strip()
         if not line:
             continue
         try:
-            records.append(IoRecord(**json.loads(line)))
-        except (json.JSONDecodeError, TypeError, ValueError) as exc:
-            raise ValueError(f"bad trace record at line {line_no}: {exc}") from exc
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(f"not valid JSON: {exc}", line_no) from exc
+        if not isinstance(payload, dict):
+            raise TraceFormatError(
+                f"expected a record object, got {type(payload).__name__}", line_no
+            )
+        try:
+            records.append(IoRecord(**payload))
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(f"bad trace record: {exc}", line_no) from exc
     return records
 
 
@@ -76,6 +125,8 @@ class ReplayResult:
         self.issued = 0
         self.completed = 0
         self.failed = 0
+        #: Total bytes scheduled for issue, after size scaling/clamping.
+        self.issued_bytes = 0
 
 
 def replay(
@@ -83,12 +134,23 @@ def replay(
     vd: VirtualDisk,
     records: Iterable[IoRecord],
     time_scale: float = 1.0,
+    size_scale: float = 1.0,
     on_each: Optional[Callable[[IoRequest], None]] = None,
+    on_issue: Optional[Callable[[IoRequest], None]] = None,
 ) -> ReplayResult:
     """Schedule every record against ``vd`` with original inter-arrivals
-    (scaled by ``time_scale``); caller runs the simulator afterwards."""
+    (scaled by ``time_scale``); caller runs the simulator afterwards.
+
+    ``time_scale`` stretches inter-arrival gaps (0.5 = twice the arrival
+    rate) and ``size_scale`` multiplies I/O sizes (re-aligned to 4KB, at
+    least one block), so one captured trace sweeps a load envelope.
+    ``on_issue`` observes each I/O the moment it is submitted (e.g. an
+    ``IoHangMonitor.watch``); ``on_each`` observes completions.
+    """
     if time_scale <= 0:
         raise ValueError(f"non-positive time scale: {time_scale}")
+    if size_scale <= 0:
+        raise ValueError(f"non-positive size scale: {size_scale}")
     result = ReplayResult()
 
     def finish(io: IoRequest) -> None:
@@ -100,13 +162,20 @@ def replay(
         if on_each is not None:
             on_each(io)
 
+    def issue(kind: str, offset: int, size: int) -> None:
+        op = vd.read if kind == "read" else vd.write
+        io = op(offset, size, finish)
+        if on_issue is not None:
+            on_issue(io)
+
     for record in records:
-        size = min(record.size_bytes, vd.size_bytes)
+        size = record.size_bytes
+        if size_scale != 1.0:
+            size = max(4096, int(size * size_scale) // 4096 * 4096)
+        size = min(size, vd.size_bytes)
         offset = min(record.offset_bytes, vd.size_bytes - size)
         offset -= offset % 4096
         result.issued += 1
-        if record.kind == "read":
-            sim.schedule(int(record.at_ns * time_scale), vd.read, offset, size, finish)
-        else:
-            sim.schedule(int(record.at_ns * time_scale), vd.write, offset, size, finish)
+        result.issued_bytes += size
+        sim.schedule(int(record.at_ns * time_scale), issue, record.kind, offset, size)
     return result
